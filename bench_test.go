@@ -1,0 +1,215 @@
+// Package pfi's root benchmark harness regenerates every table and figure
+// of the paper's evaluation, one Benchmark per artifact:
+//
+//	BenchmarkTable1_Retransmission        — Table 1, all four vendors
+//	BenchmarkTable2_DelayedACK            — Table 2, 3 s and 8 s delays
+//	BenchmarkTable2_GlobalErrorCounter    — the 35 s probe behind Table 2
+//	BenchmarkFigure4_RTOSeries            — Figure 4 series, 0/3/8 s
+//	BenchmarkTable3_KeepAlive             — Table 3
+//	BenchmarkTable4_ZeroWindow            — Table 4
+//	BenchmarkExp5_Reordering              — the Experiment 5 findings
+//	BenchmarkTable5_GMPInterruption       — Table 5
+//	BenchmarkTable6_GMPPartition          — Table 6
+//	BenchmarkTable7_ProclaimForwarding    — Table 7
+//	BenchmarkTable8_TimerTest             — Table 8
+//
+// Each benchmark reports the paper's headline numbers as custom metrics
+// (b.ReportMetric), so `go test -bench=. -benchmem` prints the reproduced
+// results next to the runtime cost of regenerating them.
+package pfi
+
+import (
+	"testing"
+	"time"
+
+	"pfi/internal/exp"
+	"pfi/internal/tcp"
+)
+
+func BenchmarkTable1_Retransmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bsd, err := exp.RunTCPRetransmission(tcp.SunOS413())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := exp.RunTCPRetransmission(tcp.Solaris23())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(bsd.Retransmissions), "bsd-retransmits")
+			b.ReportMetric(bsd.Plateau.Seconds(), "bsd-upper-bound-s")
+			b.ReportMetric(float64(sol.Retransmissions), "solaris-retransmits")
+			b.ReportMetric(sol.Gaps[0].Seconds(), "solaris-first-gap-s")
+		}
+	}
+}
+
+func BenchmarkTable2_DelayedACK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bsd, err := exp.RunTCPDelayedACK(tcp.SunOS413(), 3*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := exp.RunTCPDelayedACK(tcp.Solaris23(), 3*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(bsd.FirstRTO.Seconds(), "bsd-first-rto-s")
+			b.ReportMetric(sol.FirstRTO.Seconds(), "solaris-first-rto-s")
+		}
+	}
+}
+
+func BenchmarkTable2_GlobalErrorCounter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTCPGlobalCounter(tcp.Solaris23())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.M1Retransmit), "m1-retransmits")
+			b.ReportMetric(float64(res.M2Transmit), "m2-retransmits")
+		}
+	}
+}
+
+func BenchmarkFigure4_RTOSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, delay := range []time.Duration{0, 3 * time.Second, 8 * time.Second} {
+			res, err := exp.RunTCPDelayedACK(tcp.SunOS413(), delay)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && delay == 8*time.Second {
+				b.ReportMetric(res.FirstRTO.Seconds(), "first-rto-8s-delay-s")
+				b.ReportMetric(res.Plateau.Seconds(), "plateau-s")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3_KeepAlive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bsd, err := exp.RunTCPKeepAlive(tcp.SunOS413(), true, 4*3600*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := exp.RunTCPKeepAlive(tcp.Solaris23(), true, 4*3600*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(bsd.FirstProbeAt.Seconds(), "bsd-first-probe-s")
+			b.ReportMetric(sol.FirstProbeAt.Seconds(), "solaris-first-probe-s")
+			b.ReportMetric(float64(bsd.ProbeCount), "bsd-probes")
+			b.ReportMetric(float64(sol.ProbeCount), "solaris-probes")
+		}
+	}
+}
+
+func BenchmarkTable4_ZeroWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bsd, err := exp.RunTCPZeroWindow(tcp.SunOS413(), exp.ZWAcked)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := exp.RunTCPZeroWindow(tcp.Solaris23(), exp.ZWAcked)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(bsd.SteadyInterval.Seconds(), "bsd-probe-interval-s")
+			b.ReportMetric(sol.SteadyInterval.Seconds(), "solaris-probe-interval-s")
+		}
+	}
+}
+
+func BenchmarkExp5_Reordering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTCPReorder(tcp.SunOS413())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(boolMetric(res.SecondQueued), "ooo-queued")
+			b.ReportMetric(boolMetric(res.BothDelivered && res.DeliveredOrder), "in-order-delivery")
+		}
+	}
+}
+
+func BenchmarkTable5_GMPInterruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buggy, err := exp.RunGMPInterruption(exp.DropAllHeartbeats, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed, err := exp.RunGMPInterruption(exp.DropAllHeartbeats, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(boolMetric(buggy.BuggyDeclaredDead), "bug-reproduced")
+			b.ReportMetric(boolMetric(fixed.FormedSingleton), "fix-verified")
+		}
+	}
+}
+
+func BenchmarkTable6_GMPPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := exp.RunGMPPartition(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := exp.RunGMPLeaderCrownSeparation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(boolMetric(p.DisjointGroupsFormed && p.MergedAfterHeal), "partition-as-specified")
+			b.ReportMetric(boolMetric(s.CrownPrinceIsolated && s.OthersWithLeader), "separation-as-specified")
+		}
+	}
+}
+
+func BenchmarkTable7_ProclaimForwarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buggy, err := exp.RunGMPProclaim(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed, err := exp.RunGMPProclaim(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(buggy.LoopRounds), "loop-rounds")
+			b.ReportMetric(boolMetric(fixed.VictimAdmitted), "fix-verified")
+		}
+	}
+}
+
+func BenchmarkTable8_TimerTest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buggy, err := exp.RunGMPTimer(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed, err := exp.RunGMPTimer(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(buggy.StrayTimeouts), "buggy-stray-timeouts")
+			b.ReportMetric(float64(fixed.StrayTimeouts), "fixed-stray-timeouts")
+		}
+	}
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		if err := run(n, io.Discard); err != nil {
+			t.Errorf("run(%d): %v", n, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(7, io.Discard); err == nil {
+		t.Fatal("run(7, io.Discard) succeeded")
+	}
+}

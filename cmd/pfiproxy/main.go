@@ -1,0 +1,92 @@
+// Command pfiproxy runs the PFI technique against REAL traffic: a UDP
+// interposer that applies send/receive filter scripts to live datagrams —
+// the paper's fault-injection layer in the shape of a modern
+// Toxiproxy-style proxy.
+//
+// Usage:
+//
+//	pfiproxy -listen 127.0.0.1:7000 -upstream 127.0.0.1:5353 \
+//	         -recv-script drop_half.tcl -send-script delay.tcl
+//
+// Point the client at the -listen address; the upstream server needs no
+// changes. Scripts use the same commands as the simulated experiments
+// (xDrop, xDelay, xDuplicate, msg_set_byte, coin, ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"pfi/internal/core"
+	"pfi/internal/interpose"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to accept client traffic on")
+	upstream := flag.String("upstream", "", "address of the real server (required)")
+	sendScript := flag.String("send-script", "", "filter script file for traffic toward clients")
+	recvScript := flag.String("recv-script", "", "filter script file for traffic toward the upstream")
+	flag.Parse()
+
+	if err := run(*listen, *upstream, *sendScript, *recvScript); err != nil {
+		fmt.Fprintln(os.Stderr, "pfiproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, upstream, sendScript, recvScript string) error {
+	if upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	p, err := interpose.New(interpose.Config{Listen: listen, Upstream: upstream})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	install := func(path string, set func(l *core.Layer, src string) error) error {
+		if path == "" {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var scriptErr error
+		if err := p.Do(func(l *core.Layer) {
+			scriptErr = set(l, string(src))
+		}); err != nil {
+			return err
+		}
+		return scriptErr
+	}
+	if err := install(sendScript, func(l *core.Layer, src string) error {
+		return l.SetSendScript(src)
+	}); err != nil {
+		return fmt.Errorf("send script: %w", err)
+	}
+	if err := install(recvScript, func(l *core.Layer, src string) error {
+		return l.SetReceiveScript(src)
+	}); err != nil {
+		return fmt.Errorf("receive script: %w", err)
+	}
+
+	fmt.Printf("pfiproxy: listening on %s, upstream %s\n", p.Addr(), upstream)
+	fmt.Println("pfiproxy: ctrl-c to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+
+	var sendStats, recvStats core.Stats
+	if err := p.Do(func(l *core.Layer) {
+		sendStats = l.SendFilter().Stats()
+		recvStats = l.ReceiveFilter().Stats()
+	}); err == nil {
+		fmt.Printf("\npfiproxy: toward upstream: %+v\n", recvStats)
+		fmt.Printf("pfiproxy: toward clients:  %+v\n", sendStats)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command pfish is an interactive shell (and script runner) for the PFI
+// tool's Tcl-subset scripting language — the same interpreter that runs
+// inside the send/receive filters. It is useful for developing and testing
+// filter scripts before installing them in an experiment.
+//
+// Usage:
+//
+//	pfish                 # REPL on stdin
+//	pfish script.tcl      # run a script file
+//	pfish -c 'expr 1+2'   # evaluate one command string
+//
+// The PFI message commands (msg_type, xDrop, ...) are not available here —
+// they only exist inside a filter run — but the full core language
+// (control flow, lists, strings, expr, procs) is.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfi/internal/script"
+)
+
+func main() {
+	command := flag.String("c", "", "evaluate this command string and exit")
+	flag.Parse()
+
+	in := script.New()
+	in.SetOutput(os.Stdout)
+
+	switch {
+	case *command != "":
+		if err := evalAndPrint(in, *command); err != nil {
+			fmt.Fprintln(os.Stderr, "pfish:", err)
+			os.Exit(1)
+		}
+	case flag.NArg() >= 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfish:", err)
+			os.Exit(1)
+		}
+		if err := evalAndPrint(in, string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "pfish:", err)
+			os.Exit(1)
+		}
+	default:
+		repl(in)
+	}
+}
+
+func evalAndPrint(in *script.Interp, src string) error {
+	res, err := in.Eval(src)
+	if err != nil {
+		return err
+	}
+	if res != "" {
+		fmt.Println(res)
+	}
+	return nil
+}
+
+// repl reads commands line by line, accumulating continuation lines while
+// braces or brackets are unbalanced.
+func repl(in *script.Interp) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var pending strings.Builder
+	prompt := "pfish% "
+	fmt.Print(prompt)
+	for sc.Scan() {
+		line := sc.Text()
+		if pending.Len() == 0 && strings.TrimSpace(line) == "exit" {
+			return
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		src := pending.String()
+		if !balanced(src) {
+			fmt.Print("    ... ")
+			continue
+		}
+		pending.Reset()
+		if strings.TrimSpace(src) != "" {
+			if res, err := in.Eval(src); err != nil {
+				fmt.Println("error:", err)
+			} else if res != "" {
+				fmt.Println(res)
+			}
+		}
+		fmt.Print(prompt)
+	}
+}
+
+// balanced reports whether braces and brackets are closed (quotes and
+// backslashes respected) so the REPL knows when a command is complete.
+func balanced(src string) bool {
+	depth := 0
+	inQuote := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '\\' {
+			i++
+			continue
+		}
+		if inQuote {
+			if c == '"' {
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuote = true
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		}
+	}
+	return depth <= 0 && !inQuote
+}

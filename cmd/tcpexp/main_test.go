@@ -1,0 +1,23 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, n := range []int{1, 5} {
+		if err := run(n, false, io.Discard); err != nil {
+			t.Errorf("run(%d): %v", n, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(9, false, io.Discard); err == nil {
+		t.Fatal("run(9) succeeded")
+	}
+	if err := run(-1, false, io.Discard); err == nil {
+		t.Fatal("run(-1) succeeded")
+	}
+}

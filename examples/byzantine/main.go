@@ -1,0 +1,131 @@
+// byzantine: subject a three-machine group membership cluster to arbitrary
+// (byzantine) faults — probabilistic corruption, duplication, and
+// reordering of one member's traffic — using the failure-model library
+// from Section 2.2, and check whether view agreement survives.
+//
+// The fault plan compiles to Tcl filter scripts; nothing in the GMP code
+// is touched. The protocol's defence is its message framing (corrupt
+// packets fail to decode and are dropped) and the reliability layer's
+// dedup (duplicates are suppressed), so agreement holds: every committed
+// multi-member view generation is identical across daemons.
+//
+// Run: go run ./examples/byzantine
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pfi/internal/core"
+	"pfi/internal/fault"
+	"pfi/internal/gmp"
+	"pfi/internal/netsim"
+	"pfi/internal/rudp"
+	"pfi/internal/stack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	names := []string{"gmd1", "gmd2", "gmd3"}
+	w := netsim.NewWorld(13)
+	daemons := make(map[string]*gmp.Daemon, len(names))
+	pfis := make(map[string]*core.Layer, len(names))
+	type commit struct {
+		node string
+		view gmp.Group
+	}
+	var commits []commit
+	for _, name := range names {
+		node, err := w.AddNode(name)
+		if err != nil {
+			return err
+		}
+		net := rudp.NewLayer(node.Env())
+		pfi := core.NewLayer(node.Env(), core.WithStub(gmp.PFIStub{}))
+		node.SetStack(stack.New(node.Env(), net, pfi))
+		gmd, err := gmp.New(node.Env(), net, names)
+		if err != nil {
+			return err
+		}
+		name := name
+		gmd.OnCommit(func(g gmp.Group) {
+			commits = append(commits, commit{node: name, view: g})
+		})
+		daemons[name] = gmd
+		pfis[name] = pfi
+	}
+	if err := w.ConnectAll(netsim.LinkConfig{Latency: 2 * time.Millisecond}); err != nil {
+		return err
+	}
+	for _, name := range names {
+		daemons[name].Start()
+	}
+	w.RunFor(time.Minute)
+	fmt.Println("converged:", daemons["gmd1"].Group())
+
+	// Byzantine plan: 30% of gmd3's traffic (both directions) is
+	// corrupted, duplicated, or reordered, for five minutes.
+	plan := fault.Plan{
+		Model:     fault.Byzantine,
+		Prob:      0.3,
+		Duration:  5 * time.Minute,
+		Corrupt:   true,
+		Duplicate: true,
+		Reorder:   true,
+	}
+	send, recv, err := plan.Scripts()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ncompiled byzantine send-filter script:")
+	for _, line := range strings.Split(strings.TrimSpace(send), "\n") {
+		fmt.Println("   ", line)
+	}
+	_ = recv
+	if err := plan.Apply(pfis["gmd3"]); err != nil {
+		return err
+	}
+	w.RunFor(6 * time.Minute)
+
+	// Agreement check: all multi-member views committed for a generation
+	// must be identical.
+	fmt.Println("\ncommitted views during the byzantine storm:")
+	byGen := map[uint32]map[string]bool{}
+	for _, c := range commits {
+		if len(c.view.Members) < 2 {
+			continue
+		}
+		key := strings.Join(c.view.Members, ",")
+		if byGen[c.view.Gen] == nil {
+			byGen[c.view.Gen] = map[string]bool{}
+		}
+		byGen[c.view.Gen][key] = true
+		fmt.Printf("  %s committed %v\n", c.node, c.view)
+	}
+	violations := 0
+	for gen, sets := range byGen {
+		if len(sets) > 1 {
+			violations++
+			fmt.Printf("  AGREEMENT VIOLATION at generation %d: %v\n", gen, sets)
+		}
+	}
+	st := pfis["gmd3"].SendFilter().Stats()
+	fmt.Printf("\ngmd3 send filter: %d seen, %d duplicated, %d held/reordered\n",
+		st.Seen, st.Duplicated, st.Held)
+	if violations == 0 {
+		fmt.Println("agreement held: every generation's multi-member view was identical everywhere")
+	}
+	fmt.Println("final views:")
+	for _, name := range names {
+		fmt.Printf("  %s: %v\n", name, daemons[name].Group())
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module pfi
+
+go 1.22

@@ -1,0 +1,276 @@
+// Package campaign implements the paper's future-work item (ii):
+// "automatic generation of test scripts from a protocol specification".
+//
+// Given a protocol specification — the message types a stub recognizes and
+// the fault vocabulary to exercise — Generate produces the full matrix of
+// deterministic filter scripts: for every (message type × fault kind ×
+// direction), one script that injects exactly that fault into exactly that
+// traffic. A Campaign then drives a user-supplied scenario once per case
+// and collects verdicts, turning the paper's hand-written experiments into
+// a systematic sweep.
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pfi/internal/core"
+)
+
+// FaultKind is one element of the generated fault vocabulary. These are
+// the per-message manipulations of Section 2.1 (message manipulation) —
+// the process-level models of Section 2.2 compose from them.
+type FaultKind int
+
+const (
+	// Drop discards every matching message.
+	Drop FaultKind = iota + 1
+	// DropFirstN discards only the first N matching messages, then passes.
+	DropFirstN
+	// Delay holds every matching message for a fixed interval.
+	Delay
+	// Duplicate forwards one extra copy of every matching message.
+	Duplicate
+	// Corrupt flips one byte of every matching message.
+	Corrupt
+	// Reorder holds pairs of matching messages and releases them swapped.
+	Reorder
+)
+
+var faultNames = map[FaultKind]string{
+	Drop:       "drop",
+	DropFirstN: "drop-first-n",
+	Delay:      "delay",
+	Duplicate:  "duplicate",
+	Corrupt:    "corrupt",
+	Reorder:    "reorder",
+}
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// AllFaults returns the full fault vocabulary.
+func AllFaults() []FaultKind {
+	return []FaultKind{Drop, DropFirstN, Delay, Duplicate, Corrupt, Reorder}
+}
+
+// Spec describes the protocol under test.
+type Spec struct {
+	// Protocol names the target (diagnostics only).
+	Protocol string
+	// Types lists the message types the protocol's stub recognizes.
+	Types []string
+	// Faults selects the fault vocabulary (nil = AllFaults).
+	Faults []FaultKind
+	// Directions selects which filters to target (nil = both).
+	Directions []core.Direction
+	// DelayMS parameterizes Delay cases (default 2000).
+	DelayMS int
+	// FirstN parameterizes DropFirstN cases (default 3).
+	FirstN int
+	// CorruptOffset is the byte index Corrupt cases flip (default 0).
+	CorruptOffset int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Faults == nil {
+		s.Faults = AllFaults()
+	}
+	if s.Directions == nil {
+		s.Directions = []core.Direction{core.Send, core.Receive}
+	}
+	if s.DelayMS == 0 {
+		s.DelayMS = 2000
+	}
+	if s.FirstN == 0 {
+		s.FirstN = 3
+	}
+	return s
+}
+
+// Validate checks the specification.
+func (s Spec) Validate() error {
+	if len(s.Types) == 0 {
+		return fmt.Errorf("campaign: spec has no message types")
+	}
+	for _, t := range s.Types {
+		if strings.ContainsAny(t, "{}[]$\"\\") {
+			return fmt.Errorf("campaign: message type %q contains script metacharacters", t)
+		}
+	}
+	if s.DelayMS < 0 || s.FirstN < 0 || s.CorruptOffset < 0 {
+		return fmt.Errorf("campaign: negative parameter")
+	}
+	return nil
+}
+
+// Case is one generated test: a single fault on a single message type in a
+// single direction.
+type Case struct {
+	// Name is a unique "type/fault/direction" label.
+	Name string
+	// Type is the targeted message type.
+	Type string
+	// Fault is the injected fault kind.
+	Fault FaultKind
+	// Dir selects the send or receive filter.
+	Dir core.Direction
+	// Script is the generated Tcl filter source.
+	Script string
+}
+
+// Apply installs the case's script on the given PFI layer (clearing the
+// other direction).
+func (c Case) Apply(l *core.Layer) error {
+	if c.Dir == core.Send {
+		if err := l.SetReceiveScript(""); err != nil {
+			return err
+		}
+		return l.SetSendScript(c.Script)
+	}
+	if err := l.SetSendScript(""); err != nil {
+		return err
+	}
+	return l.SetReceiveScript(c.Script)
+}
+
+// Generate expands the specification into its deterministic case matrix.
+func Generate(spec Spec) ([]Case, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	var cases []Case
+	for _, typ := range spec.Types {
+		for _, f := range spec.Faults {
+			for _, dir := range spec.Directions {
+				script, err := buildScript(spec, typ, f)
+				if err != nil {
+					return nil, err
+				}
+				cases = append(cases, Case{
+					Name:   fmt.Sprintf("%s/%s/%s", typ, f, dir),
+					Type:   typ,
+					Fault:  f,
+					Dir:    dir,
+					Script: script,
+				})
+			}
+		}
+	}
+	return cases, nil
+}
+
+// buildScript renders the filter script for one (type, fault) pair.
+func buildScript(spec Spec, typ string, f FaultKind) (string, error) {
+	guard := fmt.Sprintf(`[msg_type cur_msg] eq "%s"`, typ)
+	switch f {
+	case Drop:
+		return fmt.Sprintf("if {%s} { xDrop cur_msg }\n", guard), nil
+	case DropFirstN:
+		return fmt.Sprintf(`if {%s} {
+	if {![info exists dropped]} { set dropped 0 }
+	if {$dropped < %d} {
+		incr dropped
+		xDrop cur_msg
+	}
+}
+`, guard, spec.FirstN), nil
+	case Delay:
+		return fmt.Sprintf("if {%s} { xDelay cur_msg %d }\n", guard, spec.DelayMS), nil
+	case Duplicate:
+		return fmt.Sprintf("if {%s} { xDuplicate cur_msg 1 }\n", guard), nil
+	case Corrupt:
+		return fmt.Sprintf(`if {%s} {
+	if {[msg_len cur_msg] > %d} {
+		msg_set_byte cur_msg %d [expr {[msg_byte cur_msg %d] ^ 0xFF}]
+	}
+}
+`, guard, spec.CorruptOffset, spec.CorruptOffset, spec.CorruptOffset), nil
+	case Reorder:
+		return fmt.Sprintf(`if {%s} {
+	xHold cur_msg
+	if {[held_count] >= 2} { xReleaseLIFO }
+}
+`, guard), nil
+	default:
+		return "", fmt.Errorf("campaign: unknown fault kind %v", f)
+	}
+}
+
+// Verdict is the outcome of one case run.
+type Verdict struct {
+	Case Case
+	// OK reports whether the scenario's success criterion held under the
+	// injected fault.
+	OK bool
+	// Note carries scenario-specific detail (what broke, counters, ...).
+	Note string
+	// Err reports a harness failure (script error, setup failure).
+	Err error
+	// Elapsed is the wall-clock cost of the case.
+	Elapsed time.Duration
+}
+
+// Scenario runs the system under test with the given case already applied
+// and reports whether the protocol behaved acceptably.
+type Scenario func(c Case) (ok bool, note string, err error)
+
+// Run executes every generated case against the scenario and returns the
+// verdicts in generation order.
+func Run(spec Spec, scenario Scenario) ([]Verdict, error) {
+	cases, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	verdicts := make([]Verdict, 0, len(cases))
+	for _, c := range cases {
+		start := time.Now()
+		ok, note, err := scenario(c)
+		verdicts = append(verdicts, Verdict{
+			Case:    c,
+			OK:      ok,
+			Note:    note,
+			Err:     err,
+			Elapsed: time.Since(start),
+		})
+	}
+	return verdicts, nil
+}
+
+// Failures filters the verdicts that did not hold (or errored).
+func Failures(vs []Verdict) []Verdict {
+	var out []Verdict
+	for _, v := range vs {
+		if !v.OK || v.Err != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line-per-case report.
+func Summary(vs []Verdict) string {
+	var b strings.Builder
+	pass := 0
+	for _, v := range vs {
+		status := "PASS"
+		switch {
+		case v.Err != nil:
+			status = "ERROR"
+		case !v.OK:
+			status = "FAIL"
+		default:
+			pass++
+		}
+		fmt.Fprintf(&b, "%-5s %-40s %s\n", status, v.Case.Name, v.Note)
+	}
+	fmt.Fprintf(&b, "%d/%d cases passed\n", pass, len(vs))
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pfi/internal/dist"
+	"pfi/internal/message"
+	"pfi/internal/simtime"
+	"pfi/internal/stack"
+	"pfi/internal/trace"
+)
+
+func TestLayerOptionsAndAccessors(t *testing.T) {
+	sched := simtime.NewScheduler()
+	env := &stack.Env{Sched: sched, Node: "acc"}
+	lg := trace.NewLog()
+	bus := NewSyncBus()
+	rng := dist.NewSource(5)
+	l := NewLayer(env,
+		WithStub(demoStub{}),
+		WithTrace(lg),
+		WithRand(rng),
+		WithSyncBus(bus),
+		WithName("pfi-custom"),
+	)
+	if l.Name() != "pfi-custom" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	if l.Trace() != lg {
+		t.Error("Trace not wired")
+	}
+	if l.Bus() != bus {
+		t.Error("Bus not wired")
+	}
+	if _, ok := l.Stub().(demoStub); !ok {
+		t.Errorf("Stub = %T", l.Stub())
+	}
+	if l.SendFilter().Dir() != Send || l.ReceiveFilter().Dir() != Receive {
+		t.Error("filter directions wrong")
+	}
+}
+
+func TestHookCtxFullSurface(t *testing.T) {
+	r := newRig(t)
+	r.sched.RunFor(time.Second)
+	var sawNow time.Duration
+	hookCalls := 0
+	r.layer.SendFilter().SetHook(func(ctx *HookCtx) error {
+		hookCalls++
+		sawNow = ctx.Now()
+		switch hookCalls {
+		case 1:
+			ctx.Delay(500 * time.Millisecond)
+		case 2:
+			ctx.Duplicate(1, 0)
+		case 3:
+			ctx.Hold()
+		case 4:
+			ctx.Hold()
+			if err := ctx.ReleaseLIFO(); err != nil {
+				return err
+			}
+		case 5:
+			ctx.Log("hook-note", "fifth message")
+		}
+		return nil
+	})
+	for i := byte(1); i <= 5; i++ {
+		r.send(t, demoMsg(demoDATA, i, ""))
+	}
+	r.sched.Run()
+	if sawNow != time.Second {
+		t.Errorf("hook Now() = %v, want 1 s", sawNow)
+	}
+	// msg1 delayed, msg2 duplicated (x2), msg3+msg4 LIFO released, msg5
+	// plain: total on the wire = 1 + 2 + 2 + 1 = 6.
+	if len(r.toNet) != 6 {
+		t.Fatalf("wire count = %d, want 6", len(r.toNet))
+	}
+	// The LIFO release forwarded 4 before 3.
+	var order []byte
+	for _, m := range r.toNet {
+		b, _ := m.ByteAt(1)
+		order = append(order, b)
+	}
+	pos := map[byte]int{}
+	for i, b := range order {
+		pos[b] = i
+	}
+	if pos[4] > pos[3] {
+		t.Errorf("LIFO release order: %v", order)
+	}
+	// The hook Log call landed in the trace.
+	if len(r.layer.Trace().Filter("testnode", "hook-note", "")) != 1 {
+		t.Error("hook Log entry missing")
+	}
+}
+
+func TestHookReleaseFIFO(t *testing.T) {
+	r := newRig(t)
+	n := 0
+	r.layer.SendFilter().SetHook(func(ctx *HookCtx) error {
+		n++
+		if n <= 2 {
+			ctx.Hold()
+			return nil
+		}
+		return ctx.Release(1)
+	})
+	r.send(t, demoMsg(demoDATA, 1, ""))
+	r.send(t, demoMsg(demoDATA, 2, ""))
+	r.send(t, demoMsg(demoDATA, 3, "")) // releases msg1, forwards itself
+	if len(r.toNet) != 2 {
+		t.Fatalf("wire count = %d, want 2", len(r.toNet))
+	}
+	a, _ := r.toNet[0].ByteAt(1)
+	if a != 1 {
+		t.Errorf("FIFO release forwarded seq %d first", a)
+	}
+	if r.layer.SendFilter().HeldCount() != 1 {
+		t.Errorf("held = %d, want 1", r.layer.SendFilter().HeldCount())
+	}
+}
+
+func TestNopStub(t *testing.T) {
+	var s NopStub
+	if s.Protocol() != "unknown" {
+		t.Errorf("Protocol = %q", s.Protocol())
+	}
+	info, err := s.Recognize(message.NewString("anything"))
+	if err != nil || info.Type != "UNKNOWN" {
+		t.Errorf("Recognize = %+v, %v", info, err)
+	}
+	if _, err := s.Generate("ACK", nil); err == nil {
+		t.Error("NopStub generated a message")
+	}
+}
+
+func TestNopStubLayerPassesEverything(t *testing.T) {
+	sched := simtime.NewScheduler()
+	env := &stack.Env{Sched: sched, Node: "nop"}
+	l := NewLayer(env) // default NopStub
+	if err := l.SetSendScript(`
+		if {[msg_type cur_msg] ne "UNKNOWN"} { error "type [msg_type cur_msg]" }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	stk := stack.New(env, l)
+	sent := 0
+	stk.OnTransmit(func(m *message.Message) error { sent++; return nil })
+	if err := stk.Send(message.NewString("opaque")); err != nil {
+		t.Fatal(err)
+	}
+	if sent != 1 {
+		t.Fatal("opaque message not forwarded")
+	}
+}
+
+func TestDriverHandleDownPassesThrough(t *testing.T) {
+	r := newDriverRig(t)
+	// Pushing through the driver from above is a raw pass-through.
+	if err := r.stk.Send(message.NewString("raw-push")); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.toNet) != 1 {
+		t.Fatal("raw push lost")
+	}
+	if r.driver.Name() != "driver" {
+		t.Errorf("driver name %q", r.driver.Name())
+	}
+}
+
+func TestDriverWithTraceOption(t *testing.T) {
+	sched := simtime.NewScheduler()
+	env := &stack.Env{Sched: sched, Node: "dt"}
+	lg := trace.NewLog()
+	d := NewDriver(env, DriverWithTrace(lg))
+	if d.Trace() != lg {
+		t.Fatal("DriverWithTrace not wired")
+	}
+	_ = stack.New(env, d)
+	if err := d.RunScript(`log hello`); err != nil {
+		t.Fatal(err)
+	}
+	if lg.Len() != 1 {
+		t.Fatal("trace entry missing")
+	}
+}

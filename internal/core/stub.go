@@ -1,0 +1,73 @@
+// Package core implements the paper's contribution: the script-driven
+// probe/fault-injection (PFI) layer.
+//
+// A PFI layer is inserted between two consecutive layers of a protocol
+// stack (stack.Stack.InsertBelow). Every message pushed down runs the
+// layer's *send filter* script; every message popped up runs its *receive
+// filter* script. Scripts are Tcl (internal/script) and can:
+//
+//   - filter: inspect messages via recognition stubs (msg_type, msg_field),
+//   - manipulate: drop, delay, reorder, duplicate, and corrupt messages
+//     (xDrop, xDelay, xHold/xRelease, xDuplicate, msg_set_byte),
+//   - inject: introduce spontaneous probe messages (xInject) built by
+//     generation stubs.
+//
+// Filter interpreter state persists across messages, filters of one layer
+// can exchange state (peer_set/peer_get), and layers on different nodes can
+// synchronize through a SyncBus (sync_signal/sync_wait) — the paper's
+// "synchronizing scripts executed by PFI layers running on different
+// nodes".
+package core
+
+import (
+	"fmt"
+
+	"pfi/internal/message"
+)
+
+// Info is what a recognition stub reports about a message: its
+// protocol-level type (e.g. "ACK", "COMMIT") and decoded header fields.
+type Info struct {
+	Type   string
+	Fields map[string]string
+}
+
+// Field returns a decoded header field ("" when absent).
+func (i Info) Field(name string) string { return i.Fields[name] }
+
+// Stub is a packet recognition/generation stub: the protocol-specific
+// knowledge plugged into a PFI layer. Stubs are "written by people who know
+// the packet formats of the target protocol" — here, each target protocol
+// package exports one.
+type Stub interface {
+	// Protocol names the protocol the stub understands.
+	Protocol() string
+	// Recognize decodes the message's type and header fields. It must not
+	// consume bytes from m.
+	Recognize(m *message.Message) (Info, error)
+	// Generate builds a new message of the given type from header fields.
+	// Only messages whose generation requires no protocol state may be
+	// generated here (the paper's spurious-ACK example); stateful sends
+	// belong to the driver layer above the target.
+	Generate(typ string, fields map[string]string) (*message.Message, error)
+}
+
+// NopStub recognizes every message as type "UNKNOWN" and generates nothing.
+// It lets a PFI layer run content-independent scripts (pure drop/delay/
+// duplicate faults) against protocols without a stub.
+type NopStub struct{}
+
+// Protocol implements Stub.
+func (NopStub) Protocol() string { return "unknown" }
+
+// Recognize implements Stub.
+func (NopStub) Recognize(m *message.Message) (Info, error) {
+	return Info{Type: "UNKNOWN", Fields: map[string]string{}}, nil
+}
+
+// Generate implements Stub.
+func (NopStub) Generate(typ string, fields map[string]string) (*message.Message, error) {
+	return nil, fmt.Errorf("core: NopStub cannot generate %q messages", typ)
+}
+
+var _ Stub = NopStub{}

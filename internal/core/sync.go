@@ -1,0 +1,48 @@
+package core
+
+// SyncBus synchronizes filter scripts running in PFI layers on different
+// nodes. A signal is a named flag: once raised it stays raised until
+// cleared, and raising it runs any registered callbacks. The bus is part of
+// the experiment (test harness), not of the simulated network — it models
+// the paper's out-of-band coordination between the driver and PFI layers.
+type SyncBus struct {
+	flags   map[string]bool
+	waiters map[string][]func()
+}
+
+// NewSyncBus returns an empty bus.
+func NewSyncBus() *SyncBus {
+	return &SyncBus{
+		flags:   make(map[string]bool),
+		waiters: make(map[string][]func()),
+	}
+}
+
+// Signal raises the named flag and fires pending waiters. Signaling an
+// already-raised flag is a no-op.
+func (b *SyncBus) Signal(name string) {
+	if b.flags[name] {
+		return
+	}
+	b.flags[name] = true
+	ws := b.waiters[name]
+	delete(b.waiters, name)
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// Clear lowers the named flag so it can be signaled (and waited on) again.
+func (b *SyncBus) Clear(name string) { delete(b.flags, name) }
+
+// IsSet reports whether the flag is currently raised.
+func (b *SyncBus) IsSet(name string) bool { return b.flags[name] }
+
+// OnSignal runs fn when the flag is raised — immediately if it already is.
+func (b *SyncBus) OnSignal(name string, fn func()) {
+	if b.flags[name] {
+		fn()
+		return
+	}
+	b.waiters[name] = append(b.waiters[name], fn)
+}

@@ -1,0 +1,85 @@
+// Package dist provides the deterministic probability distributions the PFI
+// scripts use for probabilistic fault injection (the paper's
+// dst_normal/dst_uniform-style utilities).
+//
+// All randomness flows from a single seeded source per experiment, so every
+// "probabilistic" run is replayable.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Source is a seeded random source for one experiment.
+type Source struct {
+	rng *rand.Rand
+}
+
+// NewSource returns a deterministic source.
+func NewSource(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform returns a value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + s.rng.Float64()*(hi-lo)
+}
+
+// Normal returns a draw from N(mean, variance) — the paper's
+// dst_normal mean var.
+func (s *Source) Normal(mean, variance float64) float64 {
+	if variance < 0 {
+		variance = 0
+	}
+	return mean + s.rng.NormFloat64()*math.Sqrt(variance)
+}
+
+// Exponential returns a draw with the given mean (>0).
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Shuffle permutes indexes [0,n) via swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Split derives an independent child source; children with distinct labels
+// are decorrelated while remaining reproducible.
+func (s *Source) Split(label string) *Source {
+	h := int64(1469598103934665603) // FNV offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewSource(h ^ s.rng.Int63())
+}
+
+// String describes the source for diagnostics.
+func (s *Source) String() string { return fmt.Sprintf("dist.Source(%p)", s.rng) }

@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewSource(1), NewSource(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(7)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(3, 9)
+		if v < 3 || v >= 9 {
+			t.Fatalf("Uniform(3,9) = %v out of range", v)
+		}
+	}
+}
+
+func TestUniformSwappedBounds(t *testing.T) {
+	s := NewSource(7)
+	v := s.Uniform(9, 3)
+	if v < 3 || v >= 9 {
+		t.Fatalf("Uniform(9,3) = %v out of range", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSource(11)
+	const n = 50_000
+	mean, variance := 100.0, 25.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, variance)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	va := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.5 {
+		t.Errorf("sample mean %v, want ~%v", m, mean)
+	}
+	if math.Abs(va-variance) > 2 {
+		t.Errorf("sample variance %v, want ~%v", va, variance)
+	}
+}
+
+func TestNormalNegativeVarianceClamped(t *testing.T) {
+	s := NewSource(3)
+	if v := s.Normal(5, -10); v != 5 {
+		t.Fatalf("Normal with negative variance = %v, want exactly the mean", v)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewSource(13)
+	const n = 50_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exponential(4)
+		if v < 0 {
+			t.Fatalf("Exponential < 0: %v", v)
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-4) > 0.2 {
+		t.Errorf("sample mean %v, want ~4", m)
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	s := NewSource(3)
+	if v := s.Exponential(0); v != 0 {
+		t.Fatalf("Exponential(0) = %v, want 0", v)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := NewSource(17)
+	if s.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) fired")
+	}
+	if !s.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) did not fire")
+	}
+	hits := 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) rate %v", rate)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	s := NewSource(5)
+	a := s.Split("link-a")
+	b := NewSource(5).Split("link-b")
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("split children identical")
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := NewSource(5).Split("x")
+	b := NewSource(5).Split("x")
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-label split not reproducible")
+		}
+	}
+}
+
+// Property: Bernoulli is monotone in p for a fixed draw sequence position.
+func TestPropertyBernoulliBounds(t *testing.T) {
+	f := func(seed int64, p float64) bool {
+		s := NewSource(seed)
+		got := s.Bernoulli(p)
+		if p <= 0 && got {
+			return false
+		}
+		if p >= 1 && !got {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnAndShuffle(t *testing.T) {
+	s := NewSource(23)
+	for i := 0; i < 100; i++ {
+		if v := s.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

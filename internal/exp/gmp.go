@@ -1,0 +1,438 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"pfi/internal/gmp"
+	"pfi/internal/simtime"
+)
+
+// The paper's machines. Lexicographic order matches the paper's IP-address
+// ordering: compsun1 leads any group it belongs to.
+var gmpNodes5 = []string{"compsun1", "compsun2", "compsun3", "compsun4", "compsun5"}
+var gmpNodes3 = []string{"compsun1", "compsun2", "compsun3"}
+
+// InterruptionVariant selects a row of Table 5.
+type InterruptionVariant int
+
+const (
+	// DropAllHeartbeats drops every outgoing heartbeat of one daemon,
+	// including the ones to itself.
+	DropAllHeartbeats InterruptionVariant = iota + 1
+	// SuspendDaemon suspends the daemon for 30 s (the paper's <Ctrl>-Z).
+	SuspendDaemon
+	// DropOutboundHeartbeats drops only heartbeats to OTHER machines,
+	// oscillating so the victim cycles between kicked-out and readmitted.
+	DropOutboundHeartbeats
+	// DropMembershipACKs drops compsun3's MEMBERSHIP_CHANGE ACKs at the
+	// leader's receive filter.
+	DropMembershipACKs
+	// DropCommits drops incoming COMMIT packets at compsun3.
+	DropCommits
+)
+
+// String names the variant as in Table 5.
+func (v InterruptionVariant) String() string {
+	switch v {
+	case DropAllHeartbeats:
+		return "drop all heartbeats"
+	case SuspendDaemon:
+		return "suspend gmd"
+	case DropOutboundHeartbeats:
+		return "drop outbound heartbeats"
+	case DropMembershipACKs:
+		return "drop MEMBERSHIP_CHANGE ACKs"
+	case DropCommits:
+		return "drop COMMITs"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// InterruptionResult is one row of Table 5.
+type InterruptionResult struct {
+	Variant InterruptionVariant
+	Buggy   bool
+
+	// DropAllHeartbeats / SuspendDaemon observations.
+	SelfDeathDetected bool // the daemon noticed it stopped hearing itself
+	BuggyDeclaredDead bool // the buggy path: "I have died" broadcast, stayed in group
+	BadInfoBroadcast  bool // kept polluting the group afterwards
+	FormedSingleton   bool // the fixed path: re-formed as a singleton
+
+	// DropOutboundHeartbeats observations.
+	KickReadmitCycles int // times the victim was kicked out and readmitted
+
+	// DropMembershipACKs / DropCommits observations.
+	VictimAdmitted     bool // the victim ever committed into the full group
+	VictimInLeaderView bool // the leader's final view contains the victim
+	TransitionTimeouts int  // victim's reverts to singleton
+}
+
+// RunGMPInterruption reproduces Experiment 1 of Section 4.2 (Table 5).
+// buggy enables the historical self-death bug for the variants that
+// exercise it.
+func RunGMPInterruption(variant InterruptionVariant, buggy bool) (InterruptionResult, error) {
+	res := InterruptionResult{Variant: variant, Buggy: buggy}
+	r, err := newGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{SelfDeath: buggy}))
+	if err != nil {
+		return res, err
+	}
+	r.startAll()
+	r.w.RunFor(time.Minute) // converge to {compsun1..3}
+
+	victim := "compsun3"
+	v := r.ms[victim]
+	faultStart := r.w.Now()
+	switch variant {
+	case DropAllHeartbeats:
+		if err := v.pfi.SetSendScript(`
+			if {[msg_type cur_msg] eq "HEARTBEAT"} { xDrop cur_msg }
+		`); err != nil {
+			return res, err
+		}
+		r.w.RunFor(2 * time.Minute)
+	case SuspendDaemon:
+		v.gmd.Suspend()
+		r.w.RunFor(30 * time.Second)
+		v.gmd.Resume()
+		r.w.RunFor(2 * time.Minute)
+	case DropOutboundHeartbeats:
+		// Oscillate: 20 s dropping heartbeats to others, 20 s passing.
+		if err := v.pfi.SetSendScript(`
+			if {[msg_type cur_msg] eq "HEARTBEAT" && [msg_field cur_msg dst] ne "compsun3"} {
+				set phase [expr {([now] / 20000) % 2}]
+				if {$phase == 0} { xDrop cur_msg }
+			}
+		`); err != nil {
+			return res, err
+		}
+		r.w.RunFor(5 * time.Minute)
+	case DropMembershipACKs:
+		// Fresh start: two machines form a group, then compsun3 arrives
+		// but its ACKs are dropped at the leader.
+		return runGMPDropACKs(buggy)
+	case DropCommits:
+		return runGMPDropCommits(buggy)
+	default:
+		return res, fmt.Errorf("exp: unknown interruption variant %d", variant)
+	}
+
+	ev := v.gmd.Events()
+	res.SelfDeathDetected = len(ev.Filter(victim, "self-death", ""))+
+		len(ev.Filter(victim, "self-death-bug", "")) > 0
+	res.BuggyDeclaredDead = v.gmd.SelfDeclaredDead()
+	res.BadInfoBroadcast = len(ev.Filter(victim, "bad-info", "")) > 0
+	res.FormedSingleton = committedSingleton(r, victim, faultStart)
+	if variant == DropOutboundHeartbeats {
+		res.KickReadmitCycles = countReadmissions(r, victim, faultStart)
+	}
+	return res, nil
+}
+
+// committedSingleton reports whether the victim committed a single-member
+// view after the fault was injected.
+func committedSingleton(r *gmpRig, victim string, after simtime.Time) bool {
+	for _, e := range r.ms[victim].gmd.Events().Filter(victim, "commit", "") {
+		if e.At >= after && containsField(e.Note, "{"+victim+"}") {
+			return true
+		}
+	}
+	return false
+}
+
+// countReadmissions counts post-fault transitions from a singleton view
+// back into a multi-member view.
+func countReadmissions(r *gmpRig, victim string, after simtime.Time) int {
+	cycles := 0
+	wasAlone := false
+	for _, e := range r.ms[victim].gmd.Events().Filter(victim, "commit", "") {
+		if e.At < after {
+			continue
+		}
+		alone := containsField(e.Note, "{"+victim+"}")
+		if wasAlone && !alone {
+			cycles++
+		}
+		wasAlone = alone
+	}
+	return cycles
+}
+
+func runGMPDropACKs(buggy bool) (InterruptionResult, error) {
+	res := InterruptionResult{Variant: DropMembershipACKs, Buggy: buggy}
+	r, err := newGMPRig(gmpNodes3)
+	if err != nil {
+		return res, err
+	}
+	leader, victim := "compsun1", "compsun3"
+	// The two original machines form a group first.
+	r.ms["compsun1"].gmd.Start()
+	r.ms["compsun2"].gmd.Start()
+	r.w.RunFor(time.Minute)
+	// The leader's receive filter drops MEMBERSHIP_CHANGE ACKs from the
+	// victim, so the victim never receives a COMMIT.
+	if err := r.ms[leader].pfi.SetReceiveScript(fmt.Sprintf(`
+		if {[msg_type cur_msg] eq "ACK" && [msg_field cur_msg origin] eq "%s"} {
+			xDrop cur_msg
+		}
+	`, victim)); err != nil {
+		return res, err
+	}
+	r.ms[victim].gmd.Start()
+	r.w.RunFor(5 * time.Minute)
+
+	res.VictimInLeaderView = r.ms[leader].gmd.Group().Contains(victim)
+	res.VictimAdmitted = false
+	for _, e := range r.ms[victim].gmd.Events().Filter(victim, "commit", "") {
+		if containsField(e.Note, leader) {
+			res.VictimAdmitted = true
+		}
+	}
+	res.TransitionTimeouts = len(r.ms[victim].gmd.Events().Filter(victim, "transition-timeout", ""))
+	return res, nil
+}
+
+func runGMPDropCommits(buggy bool) (InterruptionResult, error) {
+	res := InterruptionResult{Variant: DropCommits, Buggy: buggy}
+	r, err := newGMPRig(gmpNodes3)
+	if err != nil {
+		return res, err
+	}
+	leader, victim := "compsun1", "compsun3"
+	r.ms["compsun1"].gmd.Start()
+	r.ms["compsun2"].gmd.Start()
+	r.w.RunFor(time.Minute)
+	if err := r.ms[victim].pfi.SetReceiveScript(`
+		if {[msg_type cur_msg] eq "COMMIT"} { xDrop cur_msg }
+	`); err != nil {
+		return res, err
+	}
+	r.ms[victim].gmd.Start()
+	r.w.RunFor(5 * time.Minute)
+
+	// Everyone else briefly committed the victim into a view, but the
+	// victim (never seeing COMMIT) sent no heartbeats and was kicked out.
+	for _, e := range r.ms[leader].gmd.Events().Filter(leader, "commit", "") {
+		if containsField(e.Note, victim) {
+			res.VictimAdmitted = true // others' view contained it
+		}
+	}
+	res.VictimInLeaderView = r.ms[leader].gmd.Group().Contains(victim)
+	res.TransitionTimeouts = len(r.ms[victim].gmd.Events().Filter(victim, "transition-timeout", ""))
+	return res, nil
+}
+
+// PartitionResult is one row of Table 6.
+type PartitionResult struct {
+	Scenario string
+
+	// Two-group partition observations.
+	DisjointGroupsFormed bool
+	GroupA, GroupB       []string
+	MergedAfterHeal      bool
+	CyclesObserved       int
+
+	// Leader/crown-prince separation observations.
+	CrownPrinceIsolated bool // ends alone in a singleton group
+	OthersWithLeader    bool // everyone else grouped with the original leader
+	FinalLeaderView     []string
+}
+
+// RunGMPPartition reproduces Experiment 2's first test (Table 6): the five
+// machines partition into {compsun1-3} and {compsun4,5}, form disjoint
+// groups, merge after healing, and repeat for cycles rounds.
+func RunGMPPartition(cycles int) (PartitionResult, error) {
+	res := PartitionResult{Scenario: "partition into two groups"}
+	if cycles <= 0 {
+		cycles = 2
+	}
+	r, err := newGMPRig(gmpNodes5)
+	if err != nil {
+		return res, err
+	}
+	r.startAll()
+	r.w.RunFor(2 * time.Minute)
+
+	groupA := []string{"compsun1", "compsun2", "compsun3"}
+	groupB := []string{"compsun4", "compsun5"}
+	res.DisjointGroupsFormed = true
+	res.MergedAfterHeal = true
+	for i := 0; i < cycles; i++ {
+		r.w.Partition(groupA, groupB)
+		r.w.RunFor(2 * time.Minute)
+		okA := membersEqual(r.ms["compsun1"].gmd.Group(), groupA)
+		okB := membersEqual(r.ms["compsun4"].gmd.Group(), groupB)
+		if !okA || !okB {
+			res.DisjointGroupsFormed = false
+		}
+		if i == 0 {
+			res.GroupA = r.ms["compsun1"].gmd.Group().Members
+			res.GroupB = r.ms["compsun4"].gmd.Group().Members
+		}
+		r.w.Heal()
+		r.w.RunFor(3 * time.Minute)
+		for _, n := range gmpNodes5 {
+			if !membersEqual(r.ms[n].gmd.Group(), gmpNodes5) {
+				res.MergedAfterHeal = false
+			}
+		}
+		res.CyclesObserved++
+	}
+	return res, nil
+}
+
+// RunGMPLeaderCrownSeparation reproduces Experiment 2's second test: the
+// leader and the crown prince stop exchanging messages. Both race to form
+// a new group; either way the crown prince ends up alone and everyone else
+// groups with the original leader, exactly as the paper observed.
+func RunGMPLeaderCrownSeparation() (PartitionResult, error) {
+	res := PartitionResult{Scenario: "leader/crown prince separation"}
+	r, err := newGMPRig(gmpNodes5)
+	if err != nil {
+		return res, err
+	}
+	r.startAll()
+	r.w.RunFor(2 * time.Minute)
+
+	// Cut only the leader<->crown-prince pair, with filter scripts on both
+	// send sides (the paper "configured [them] to stop sending messages to
+	// each other").
+	if err := r.ms["compsun1"].pfi.SetSendScript(`
+		if {[msg_field cur_msg dst] eq "compsun2"} { xDrop cur_msg }
+	`); err != nil {
+		return res, err
+	}
+	if err := r.ms["compsun2"].pfi.SetSendScript(`
+		if {[msg_field cur_msg dst] eq "compsun1"} { xDrop cur_msg }
+	`); err != nil {
+		return res, err
+	}
+	r.w.RunFor(10 * time.Minute)
+
+	cpGroup := r.ms["compsun2"].gmd.Group()
+	res.CrownPrinceIsolated = len(cpGroup.Members) == 1 && cpGroup.Members[0] == "compsun2"
+	want := []string{"compsun1", "compsun3", "compsun4", "compsun5"}
+	res.OthersWithLeader = true
+	for _, n := range want {
+		if !membersEqual(r.ms[n].gmd.Group(), want) {
+			res.OthersWithLeader = false
+		}
+	}
+	res.FinalLeaderView = r.ms["compsun1"].gmd.Group().Members
+	return res, nil
+}
+
+// ProclaimResult is the Table 7 observation.
+type ProclaimResult struct {
+	Buggy           bool
+	LoopDetected    bool // PROCLAIMs ping-ponged between leader and forwarder
+	LoopRounds      int
+	OriginatorReply bool // the originator got the leader's response
+	VictimAdmitted  bool // the proclaiming machine eventually joined
+}
+
+// RunGMPProclaim reproduces Experiment 3 (Table 7): compsun3's PROCLAIMs to
+// the leader are dropped, so only the copy to the crown prince survives and
+// must be forwarded. The buggy leader answers the forwarder — a proclaim
+// loop; the fixed leader answers the originator, who then joins.
+func RunGMPProclaim(buggy bool) (ProclaimResult, error) {
+	res := ProclaimResult{Buggy: buggy}
+	r, err := newGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{ProclaimForward: buggy}))
+	if err != nil {
+		return res, err
+	}
+	leader, prince, victim := "compsun1", "compsun2", "compsun3"
+	r.ms[leader].gmd.Start()
+	r.ms[prince].gmd.Start()
+	r.w.RunFor(time.Minute)
+	if err := r.ms[victim].pfi.SetSendScript(fmt.Sprintf(`
+		if {[msg_type cur_msg] eq "PROCLAIM" && [msg_field cur_msg dst] eq "%s"} {
+			xDrop cur_msg
+		}
+	`, leader)); err != nil {
+		return res, err
+	}
+	r.ms[victim].gmd.Start()
+	r.w.RunFor(2 * time.Minute)
+
+	// Loop signature: the leader repeatedly responding "to sender".
+	buggyReplies := 0
+	for _, e := range r.ms[leader].gmd.Events().Filter(leader, "proclaim-respond", "") {
+		if containsField(e.Note, "buggy") {
+			buggyReplies++
+		}
+	}
+	res.LoopRounds = buggyReplies
+	res.LoopDetected = buggyReplies > 5
+	for _, e := range r.ms[leader].gmd.Events().Filter(leader, "proclaim-respond", "") {
+		if containsField(e.Note, "to "+victim) {
+			res.OriginatorReply = true
+		}
+	}
+	res.VictimAdmitted = r.ms[leader].gmd.Group().Contains(victim) &&
+		r.ms[victim].gmd.Group().Contains(leader)
+	return res, nil
+}
+
+// TimerResult is the Table 8 observation.
+type TimerResult struct {
+	Buggy               bool
+	StrayTimeouts       int  // heartbeat timeouts that fired IN_TRANSITION
+	TimersArmedInTrans  int  // armed heartbeat-expect timers right after entering transition
+	EnteredTransitTwice bool // the victim did receive a second MEMBERSHIP_CHANGE
+}
+
+// RunGMPTimer reproduces Experiment 4 (Table 8): compsun2 joins one group;
+// on its second MEMBERSHIP_CHANGE it starts dropping incoming COMMIT and
+// HEARTBEAT packets, so it lingers IN_TRANSITION where no heartbeat timer
+// should be armed. The inverted unset logic leaves stray timers, which then
+// fire — the paper's "timed out waiting for a heartbeat from the leader".
+func RunGMPTimer(buggy bool) (TimerResult, error) {
+	res := TimerResult{Buggy: buggy}
+	r, err := newGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{TimerUnset: buggy}))
+	if err != nil {
+		return res, err
+	}
+	leader, victim, third := "compsun1", "compsun2", "compsun3"
+	// The filter is configured before the daemons boot, exactly as in the
+	// paper: the victim "was allowed to join one group; after that, when
+	// it received a second MEMBERSHIP_CHANGE ... it started dropping all
+	// incoming COMMIT and heartbeat packets".
+	if err := r.ms[victim].pfi.SetReceiveScript(`
+		set t [msg_type cur_msg]
+		if {$t eq "MEMBERSHIP_CHANGE"} {
+			if {![info exists mc]} { set mc 0 }
+			incr mc
+		}
+		if {[info exists mc] && $mc >= 2 && ($t eq "COMMIT" || $t eq "HEARTBEAT")} {
+			xDrop cur_msg
+		}
+	`); err != nil {
+		return res, err
+	}
+	// compsun1 and compsun2 form the initial group (the victim's first
+	// MEMBERSHIP_CHANGE)...
+	r.ms[leader].gmd.Start()
+	r.ms[victim].gmd.Start()
+	r.w.RunFor(time.Minute)
+	// ...then the third machine arrives, triggering the second.
+	r.ms[third].gmd.Start()
+
+	// Sample the victim's armed timers shortly after it (re-)enters
+	// transition, then let the stray timers expire.
+	transitions := 0
+	for i := 0; i < 600; i++ {
+		r.w.RunFor(100 * time.Millisecond)
+		if r.ms[victim].gmd.InTransition() {
+			transitions++
+			if armed := r.ms[victim].gmd.ArmedHBExpect(); armed > res.TimersArmedInTrans {
+				res.TimersArmedInTrans = armed
+			}
+		}
+	}
+	res.EnteredTransitTwice = transitions > 0
+	res.StrayTimeouts = len(r.ms[victim].gmd.Events().Filter(victim, "hb-timeout-in-transition", ""))
+	return res, nil
+}

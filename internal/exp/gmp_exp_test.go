@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"testing"
+)
+
+// --- Table 5: packet interruption ----------------------------------------------
+
+func TestTable5DropAllHeartbeatsBuggy(t *testing.T) {
+	// The historical implementation: the daemon that stops hearing itself
+	// announces its own death, stays (marked down) in the group, and keeps
+	// broadcasting bad information.
+	res, err := RunGMPInterruption(DropAllHeartbeats, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SelfDeathDetected {
+		t.Error("self-death never detected")
+	}
+	if !res.BuggyDeclaredDead {
+		t.Error("buggy daemon did not declare itself dead")
+	}
+	if !res.BadInfoBroadcast {
+		t.Error("buggy daemon did not keep broadcasting bad information")
+	}
+	if res.FormedSingleton {
+		t.Error("buggy daemon formed a singleton; the bug is that it does not")
+	}
+}
+
+func TestTable5DropAllHeartbeatsFixed(t *testing.T) {
+	// The fix the paper prescribes: code for the special case in which the
+	// machine that has "died" is the local machine — form a singleton.
+	res, err := RunGMPInterruption(DropAllHeartbeats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SelfDeathDetected {
+		t.Error("self-death never detected")
+	}
+	if res.BuggyDeclaredDead || res.BadInfoBroadcast {
+		t.Error("fixed daemon exhibited the buggy behaviours")
+	}
+	if !res.FormedSingleton {
+		t.Error("fixed daemon did not form a singleton group")
+	}
+}
+
+func TestTable5SuspendResume(t *testing.T) {
+	// "Identical behavior was observed when a gmd was suspended for 30
+	// seconds": timers expire during the suspension and the same self-death
+	// path runs on resume.
+	for _, buggy := range []bool{true, false} {
+		res, err := RunGMPInterruption(SuspendDaemon, buggy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SelfDeathDetected {
+			t.Errorf("buggy=%v: suspension did not trigger self-death", buggy)
+		}
+		if buggy != res.BuggyDeclaredDead {
+			t.Errorf("buggy=%v: declared-dead=%v", buggy, res.BuggyDeclaredDead)
+		}
+	}
+}
+
+func TestTable5DropOutboundHeartbeats(t *testing.T) {
+	// "The machine which was dropping outgoing heartbeats kept getting
+	// kicked out of the group ... re-admitted, only to be kicked out
+	// again." — behaved as specified.
+	res, err := RunGMPInterruption(DropOutboundHeartbeats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KickReadmitCycles < 2 {
+		t.Errorf("kick/readmit cycles = %d, want >= 2", res.KickReadmitCycles)
+	}
+	if res.SelfDeathDetected {
+		t.Error("self heartbeats still flow; self-death must not trigger")
+	}
+}
+
+func TestTable5DropMembershipACKs(t *testing.T) {
+	// "The machine dropping the ACKs was never admitted to a group" —
+	// behaved as specified.
+	res, err := RunGMPInterruption(DropMembershipACKs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimAdmitted {
+		t.Error("victim committed into the group despite dropped ACKs")
+	}
+	if res.VictimInLeaderView {
+		t.Error("leader's final view contains the victim")
+	}
+	if res.TransitionTimeouts < 1 {
+		t.Error("victim never cycled through the transition timeout")
+	}
+}
+
+func TestTable5DropCommits(t *testing.T) {
+	// "The machine which drops the COMMIT packet stayed IN_TRANSITION.
+	// Everyone else committed it into their view, but since it did not
+	// send heartbeats, it got kicked out." — behaved as specified.
+	res, err := RunGMPInterruption(DropCommits, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VictimAdmitted {
+		t.Error("others never committed the victim into a view")
+	}
+	if res.VictimInLeaderView {
+		t.Error("victim still in the leader's final view; it should have been kicked")
+	}
+	if res.TransitionTimeouts < 1 {
+		t.Error("victim never timed out of IN_TRANSITION")
+	}
+}
+
+// --- Table 6: network partitions --------------------------------------------------
+
+func TestTable6PartitionCycles(t *testing.T) {
+	res, err := RunGMPPartition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DisjointGroupsFormed {
+		t.Errorf("disjoint groups not formed: A=%v B=%v", res.GroupA, res.GroupB)
+	}
+	if !res.MergedAfterHeal {
+		t.Error("groups did not merge after healing")
+	}
+	if res.CyclesObserved != 2 {
+		t.Errorf("cycles observed = %d, want 2", res.CyclesObserved)
+	}
+}
+
+func TestTable6LeaderCrownPrinceSeparation(t *testing.T) {
+	res, err := RunGMPLeaderCrownSeparation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CrownPrinceIsolated {
+		t.Error("crown prince not isolated in a singleton group")
+	}
+	if !res.OthersWithLeader {
+		t.Errorf("survivors not grouped with the original leader: %v", res.FinalLeaderView)
+	}
+}
+
+// --- Table 7: proclaim forwarding ---------------------------------------------------
+
+func TestTable7ProclaimLoopBuggy(t *testing.T) {
+	res, err := RunGMPProclaim(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LoopDetected {
+		t.Errorf("no proclaim loop detected (rounds=%d)", res.LoopRounds)
+	}
+	if res.VictimAdmitted {
+		t.Error("victim admitted despite the loop; the paper's victim never was")
+	}
+}
+
+func TestTable7ProclaimFixed(t *testing.T) {
+	// "The code was fixed so that the group leader always responds to the
+	// proclaim originator."
+	res, err := RunGMPProclaim(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoopDetected {
+		t.Error("fixed leader still loops")
+	}
+	if !res.OriginatorReply {
+		t.Error("leader never replied to the originator")
+	}
+	if !res.VictimAdmitted {
+		t.Error("victim not admitted with the fix in place")
+	}
+}
+
+// --- Table 8: timer test -------------------------------------------------------------
+
+func TestTable8TimerBuggy(t *testing.T) {
+	res, err := RunGMPTimer(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EnteredTransitTwice {
+		t.Fatal("victim never entered the second transition")
+	}
+	if res.TimersArmedInTrans == 0 {
+		t.Error("no stray heartbeat-expect timers armed in IN_TRANSITION")
+	}
+	if res.StrayTimeouts == 0 {
+		t.Error("no stray heartbeat timeout fired in IN_TRANSITION")
+	}
+}
+
+func TestTable8TimerFixed(t *testing.T) {
+	res, err := RunGMPTimer(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EnteredTransitTwice {
+		t.Fatal("victim never entered the second transition")
+	}
+	if res.StrayTimeouts != 0 {
+		t.Errorf("fixed daemon fired %d heartbeat timeouts in transition", res.StrayTimeouts)
+	}
+}

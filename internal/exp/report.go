@@ -1,0 +1,390 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"pfi/internal/tcp"
+)
+
+// Table is a rendered experiment table in the paper's row/column style.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	var sep strings.Builder
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "| %-*s ", widths[i], c)
+		sep.WriteString("|")
+		sep.WriteString(strings.Repeat("-", widths[i]+2))
+	}
+	fmt.Fprintf(w, "|\n%s|\n", sep.String())
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(w, "| %-*s ", widths[i], cell)
+		}
+		fmt.Fprintln(w, "|")
+	}
+	fmt.Fprintln(w)
+}
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func durS(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// Table1 runs Experiment 1 for every vendor profile and renders Table 1.
+func Table1(w io.Writer) error {
+	t := &Table{
+		Title:   "Table 1: TCP Retransmission Timeout Results",
+		Columns: []string{"Implementation", "Retransmissions", "First gap", "Exponential", "Upper bound", "RST sent", "Conn closed"},
+	}
+	for _, prof := range tcp.Profiles() {
+		res, err := RunTCPRetransmission(prof)
+		if err != nil {
+			return fmt.Errorf("table 1 (%s): %w", prof.Name, err)
+		}
+		bound := "none established"
+		if res.PlateauReached {
+			bound = durS(res.Plateau)
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Vendor,
+			fmt.Sprintf("%d", res.Retransmissions),
+			durS(res.FirstGap),
+			yesno(res.Exponential),
+			bound,
+			yesno(res.ResetSent),
+			yesno(res.ConnClosed),
+		})
+	}
+	t.Write(w)
+	return nil
+}
+
+// Table2 runs Experiment 2 for every vendor at the given ACK delay and
+// renders the Table 2 rows.
+func Table2(w io.Writer, delay time.Duration) error {
+	t := &Table{
+		Title:   fmt.Sprintf("Table 2: TCP Retransmission Timeouts with %v Delayed ACKs", delay),
+		Columns: []string{"Implementation", "First RTO", "Adapted (> delay)", "Retransmissions", "Upper bound", "Conn closed"},
+	}
+	for _, prof := range tcp.Profiles() {
+		res, err := RunTCPDelayedACK(prof, delay)
+		if err != nil {
+			return fmt.Errorf("table 2 (%s): %w", prof.Name, err)
+		}
+		bound := "none established"
+		if res.PlateauReached {
+			bound = durS(res.Plateau)
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Vendor,
+			durS(res.FirstRTO),
+			yesno(res.FirstRTO > delay),
+			fmt.Sprintf("%d", res.Retransmissions),
+			bound,
+			yesno(res.ConnClosed),
+		})
+	}
+	t.Write(w)
+	return nil
+}
+
+// GlobalCounter renders the Solaris global-error-counter probe alongside a
+// BSD control.
+func GlobalCounter(w io.Writer) error {
+	t := &Table{
+		Title:   "Experiment 2 variation: global error counter probe (35 s delayed ACK of m1)",
+		Columns: []string{"Implementation", "m1 retransmissions", "m2 retransmissions", "Total", "Conn closed"},
+	}
+	for _, prof := range []tcp.Profile{tcp.Solaris23(), tcp.SunOS413()} {
+		res, err := RunTCPGlobalCounter(prof)
+		if err != nil {
+			return fmt.Errorf("global counter (%s): %w", prof.Name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Vendor,
+			fmt.Sprintf("%d", res.M1Retransmit),
+			fmt.Sprintf("%d", res.M2Transmit),
+			fmt.Sprintf("%d", res.M1Retransmit+res.M2Transmit),
+			yesno(res.ConnClosed),
+		})
+	}
+	t.Write(w)
+	return nil
+}
+
+// Figure4 renders the retransmission-timeout series (gap per retransmission
+// number) for the no-delay, 3 s, and 8 s cases — the paper's Figure 4.
+func Figure4(w io.Writer, prof tcp.Profile) error {
+	fmt.Fprintf(w, "Figure 4: Retransmission timeout values — %s\n", prof.Name)
+	fmt.Fprintf(w, "%-6s %12s %12s %12s\n", "rtx#", "no delay", "3s delay", "8s delay")
+	var series [3][]time.Duration
+	for i, delay := range []time.Duration{0, 3 * time.Second, 8 * time.Second} {
+		res, err := RunTCPDelayedACK(prof, delay)
+		if err != nil {
+			return fmt.Errorf("figure 4 (%s, %v): %w", prof.Name, delay, err)
+		}
+		series[i] = append([]time.Duration{res.FirstRTO}, res.Gaps...)
+	}
+	rows := 0
+	for _, s := range series {
+		if len(s) > rows {
+			rows = len(s)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		cells := [3]string{"-", "-", "-"}
+		for j := range series {
+			if i < len(series[j]) {
+				cells[j] = durS(series[j][i])
+			}
+		}
+		fmt.Fprintf(w, "%-6d %12s %12s %12s\n", i+1, cells[0], cells[1], cells[2])
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Table3 runs Experiment 3 and renders Table 3.
+func Table3(w io.Writer) error {
+	t := &Table{
+		Title:   "Table 3: TCP Keep-alive Results (probes dropped)",
+		Columns: []string{"Implementation", "First probe", "Probes", "Spacing", "RST sent", "Conn closed", "Garbage byte"},
+	}
+	for _, prof := range tcp.Profiles() {
+		res, err := RunTCPKeepAlive(prof, true, 4*3600*time.Second)
+		if err != nil {
+			return fmt.Errorf("table 3 (%s): %w", prof.Name, err)
+		}
+		spacing := "n/a"
+		switch {
+		case res.FixedInterval && len(res.Gaps) > 0:
+			spacing = "fixed " + durS(res.Gaps[0])
+		case res.Backoff:
+			spacing = "exponential backoff"
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Vendor,
+			durS(res.FirstProbeAt),
+			fmt.Sprintf("%d", res.ProbeCount),
+			spacing,
+			yesno(res.ResetSent),
+			yesno(res.ConnClosed),
+			yesno(res.GarbageByte),
+		})
+	}
+	t.Write(w)
+	return nil
+}
+
+// Table4 runs Experiment 4 and renders Table 4.
+func Table4(w io.Writer) error {
+	t := &Table{
+		Title:   "Table 4: TCP Zero Window Probe Results",
+		Columns: []string{"Implementation", "Variant", "Probe interval", "Still probing", "Conn open", "Probes"},
+	}
+	variants := []struct {
+		v    ZeroWindowVariant
+		name string
+	}{
+		{ZWAcked, "probes acked"},
+		{ZWDropped, "probes dropped 90 min"},
+		{ZWUnplugged, "ethernet unplugged 2 days"},
+	}
+	for _, prof := range tcp.Profiles() {
+		for _, vv := range variants {
+			res, err := RunTCPZeroWindow(prof, vv.v)
+			if err != nil {
+				return fmt.Errorf("table 4 (%s, %s): %w", prof.Name, vv.name, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				res.Vendor,
+				vv.name,
+				durS(res.SteadyInterval),
+				yesno(res.StillProbing),
+				yesno(res.ConnOpen),
+				fmt.Sprintf("%d", res.ProbeCount),
+			})
+		}
+	}
+	t.Write(w)
+	return nil
+}
+
+// Reorder runs Experiment 5 and renders its findings.
+func Reorder(w io.Writer) error {
+	t := &Table{
+		Title:   "Experiment 5: Reordering of messages",
+		Columns: []string{"Implementation", "OOO segment queued", "Both delivered", "In order"},
+	}
+	for _, prof := range tcp.Profiles() {
+		res, err := RunTCPReorder(prof)
+		if err != nil {
+			return fmt.Errorf("reorder (%s): %w", prof.Name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Vendor,
+			yesno(res.SecondQueued),
+			yesno(res.BothDelivered),
+			yesno(res.DeliveredOrder),
+		})
+	}
+	t.Write(w)
+	return nil
+}
+
+// Table5 runs the GMP packet interruption experiments and renders Table 5.
+func Table5(w io.Writer) error {
+	t := &Table{
+		Title:   "Table 5: GMP Packet Interruption",
+		Columns: []string{"Test", "Code", "Observation"},
+	}
+	type variantRun struct {
+		v     InterruptionVariant
+		buggy bool
+	}
+	for _, vr := range []variantRun{
+		{DropAllHeartbeats, true},
+		{DropAllHeartbeats, false},
+		{SuspendDaemon, true},
+		{DropOutboundHeartbeats, false},
+		{DropMembershipACKs, false},
+		{DropCommits, false},
+	} {
+		res, err := RunGMPInterruption(vr.v, vr.buggy)
+		if err != nil {
+			return fmt.Errorf("table 5 (%v): %w", vr.v, err)
+		}
+		code := "fixed"
+		if vr.buggy {
+			code = "buggy"
+		}
+		obs := ""
+		switch vr.v {
+		case DropAllHeartbeats, SuspendDaemon:
+			switch {
+			case res.BuggyDeclaredDead:
+				obs = "gmd believes it has died; stays in group, broadcasts bad info"
+			case res.FormedSingleton:
+				obs = "self-death detected; singleton group formed (as specified)"
+			default:
+				obs = "no self-death observed"
+			}
+		case DropOutboundHeartbeats:
+			obs = fmt.Sprintf("kicked out and readmitted %d times (as specified)", res.KickReadmitCycles)
+		case DropMembershipACKs:
+			obs = fmt.Sprintf("never admitted to a group (admitted=%v, in leader view=%v)",
+				res.VictimAdmitted, res.VictimInLeaderView)
+		case DropCommits:
+			obs = fmt.Sprintf("stayed IN_TRANSITION, committed by others then kicked (in leader view=%v)",
+				res.VictimInLeaderView)
+		}
+		t.Rows = append(t.Rows, []string{vr.v.String(), code, obs})
+	}
+	t.Write(w)
+	return nil
+}
+
+// Table6 runs the partition experiments and renders Table 6.
+func Table6(w io.Writer) error {
+	t := &Table{
+		Title:   "Table 6: Network Partition Experiment",
+		Columns: []string{"Test", "Observation"},
+	}
+	p, err := RunGMPPartition(2)
+	if err != nil {
+		return fmt.Errorf("table 6 (partition): %w", err)
+	}
+	t.Rows = append(t.Rows, []string{
+		p.Scenario,
+		fmt.Sprintf("disjoint groups %v/%v formed=%v, merged after heal=%v, cycles=%d",
+			p.GroupA, p.GroupB, p.DisjointGroupsFormed, p.MergedAfterHeal, p.CyclesObserved),
+	})
+	s, err := RunGMPLeaderCrownSeparation()
+	if err != nil {
+		return fmt.Errorf("table 6 (separation): %w", err)
+	}
+	t.Rows = append(t.Rows, []string{
+		s.Scenario,
+		fmt.Sprintf("crown prince isolated=%v, others with original leader=%v (final view %v)",
+			s.CrownPrinceIsolated, s.OthersWithLeader, s.FinalLeaderView),
+	})
+	t.Write(w)
+	return nil
+}
+
+// Table7 runs the proclaim-forwarding experiment and renders Table 7.
+func Table7(w io.Writer) error {
+	t := &Table{
+		Title:   "Table 7: Proclaim Forwarding Experiment",
+		Columns: []string{"Code", "Observation"},
+	}
+	for _, buggy := range []bool{true, false} {
+		res, err := RunGMPProclaim(buggy)
+		if err != nil {
+			return fmt.Errorf("table 7 (buggy=%v): %w", buggy, err)
+		}
+		code := "fixed"
+		obs := fmt.Sprintf("leader replies to originator=%v, victim admitted=%v",
+			res.OriginatorReply, res.VictimAdmitted)
+		if buggy {
+			code = "buggy"
+			obs = fmt.Sprintf("proclaim loop between leader and forwarder (%d rounds), victim admitted=%v",
+				res.LoopRounds, res.VictimAdmitted)
+		}
+		t.Rows = append(t.Rows, []string{code, obs})
+	}
+	t.Write(w)
+	return nil
+}
+
+// Table8 runs the timer experiment and renders Table 8.
+func Table8(w io.Writer) error {
+	t := &Table{
+		Title:   "Table 8: GMP Timer Test",
+		Columns: []string{"Code", "Observation"},
+	}
+	for _, buggy := range []bool{true, false} {
+		res, err := RunGMPTimer(buggy)
+		if err != nil {
+			return fmt.Errorf("table 8 (buggy=%v): %w", buggy, err)
+		}
+		code := "fixed"
+		if buggy {
+			code = "buggy"
+		}
+		t.Rows = append(t.Rows, []string{
+			code,
+			fmt.Sprintf("stray hb-expect timers in IN_TRANSITION=%d, stray timeouts fired=%d",
+				res.TimersArmedInTrans, res.StrayTimeouts),
+		})
+	}
+	t.Write(w)
+	return nil
+}

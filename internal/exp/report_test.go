@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pfi/internal/tcp"
+)
+
+func TestTableWriteAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Columns: []string{"a", "longcolumn"},
+		Rows:    [][]string{{"wide-cell-value", "x"}, {"y", "z"}},
+	}
+	var buf bytes.Buffer
+	tbl.Write(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+hdr+sep+2
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// All data lines have equal width (aligned columns).
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+// TestRenderAllTCPTables exercises every TCP table renderer end to end and
+// spot-checks the paper's headline values in the text output.
+func TestRenderAllTCPTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SunOS 4.1.3", "Solaris 2.3", "64.00s", "none established", "12", "9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	if err := Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"7201.00s", "6753.00s", "fixed 75.00s", "exponential backoff"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 output missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	if err := GlobalCounter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "| 6") || !strings.Contains(out, "| 3") {
+		t.Errorf("global counter output missing 6/3 split:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := Reorder(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(buf.String(), "yes"); c < 12 { // 4 vendors x 3 yes-columns
+		t.Errorf("reorder table yes-count = %d", c)
+	}
+}
+
+func TestRenderTable2AndFigure4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3s Delayed ACKs") {
+		t.Error("Table 2 missing delay in title")
+	}
+	buf.Reset()
+	if err := Figure4(&buf, tcp.Solaris23()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "no delay") || !strings.Contains(out, "8s delay") {
+		t.Errorf("Figure 4 header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0.33s") {
+		t.Errorf("Figure 4 Solaris series missing the 330 ms floor:\n%s", out)
+	}
+}
+
+// TestRenderAllGMPTables exercises the GMP table renderers.
+func TestRenderAllGMPTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"buggy", "fixed", "never admitted", "believes it has died"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 output missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	if err := Table7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "proclaim loop") {
+		t.Error("Table 7 output missing the loop observation")
+	}
+
+	buf.Reset()
+	if err := Table8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "stray") {
+		t.Error("Table 8 output missing stray-timer observation")
+	}
+}
+
+func TestRenderTable6(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"partition into two groups", "crown prince", "merged after heal=true", "isolated=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 6 output missing %q", want)
+		}
+	}
+}
+
+func TestRenderTable4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"60.00s", "56.00s", "unplugged 2 days"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q", want)
+		}
+	}
+}

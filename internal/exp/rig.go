@@ -1,0 +1,180 @@
+// Package exp reproduces every experiment of the paper's Section 4: the
+// five TCP experiments (Tables 1-4, Figure 4, and the reordering study)
+// against the four vendor behaviour profiles, and the four GMP experiment
+// families (Tables 5-8) against the group membership daemon with its
+// historical bugs switchable on and off.
+//
+// Each Run* function builds a fresh simulated world, installs the paper's
+// filter scripts, drives the workload, and returns a structured result
+// carrying the observations the paper's tables report.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"pfi/internal/core"
+	"pfi/internal/gmp"
+	"pfi/internal/netsim"
+	"pfi/internal/rudp"
+	"pfi/internal/simtime"
+	"pfi/internal/stack"
+	"pfi/internal/tcp"
+	"pfi/internal/trace"
+)
+
+// lanLatency is the simulated LAN propagation delay.
+const lanLatency = 2 * time.Millisecond
+
+// tcpEndpoint is one machine in the TCP experiments: a vendor (or
+// x-Kernel) TCP stack with a PFI layer spliced directly below it.
+type tcpEndpoint struct {
+	node *netsim.Node
+	tcp  *tcp.Layer
+	pfi  *core.Layer
+	log  *trace.Log
+}
+
+// tcpRig is the paper's experimental setup: a machine running a vendor TCP
+// implementation talking to the instrumented x-Kernel machine.
+type tcpRig struct {
+	w      *netsim.World
+	vendor *tcpEndpoint
+	xk     *tcpEndpoint
+}
+
+func newTCPEndpoint(w *netsim.World, name string, prof tcp.Profile) (*tcpEndpoint, error) {
+	node, err := w.AddNode(name)
+	if err != nil {
+		return nil, err
+	}
+	log := trace.NewLog()
+	tl, err := tcp.NewLayer(node.Env(), prof, tcp.WithTrace(log))
+	if err != nil {
+		return nil, err
+	}
+	pl := core.NewLayer(node.Env(), core.WithStub(tcp.PFIStub{}), core.WithTrace(log))
+	node.SetStack(stack.New(node.Env(), tl, pl))
+	return &tcpEndpoint{node: node, tcp: tl, pfi: pl, log: log}, nil
+}
+
+// newTCPRig builds the two-machine TCP world.
+func newTCPRig(prof tcp.Profile) (*tcpRig, error) {
+	w := netsim.NewWorld(1995)
+	vendor, err := newTCPEndpoint(w, "vendor", prof)
+	if err != nil {
+		return nil, err
+	}
+	xk, err := newTCPEndpoint(w, "xkernel", tcp.XKernel())
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Connect("vendor", "xkernel", netsim.LinkConfig{Latency: lanLatency}); err != nil {
+		return nil, err
+	}
+	return &tcpRig{w: w, vendor: vendor, xk: xk}, nil
+}
+
+// dial opens vendor -> xkernel:80 and runs the handshake.
+func (r *tcpRig) dial(accept func(*tcp.Conn)) (*tcp.Conn, error) {
+	if accept == nil {
+		accept = func(*tcp.Conn) {}
+	}
+	if err := r.xk.tcp.Listen(80, accept); err != nil {
+		return nil, err
+	}
+	c, err := r.vendor.tcp.Connect("xkernel", 80)
+	if err != nil {
+		return nil, err
+	}
+	r.w.RunFor(time.Second)
+	if c.State() != tcp.StateEstablished {
+		return nil, fmt.Errorf("exp: handshake failed, state %v", c.State())
+	}
+	return c, nil
+}
+
+// streamSegments sends n MSS-sized segments spaced apart, letting each be
+// acknowledged (the "thirty packets allowed through" warm-up).
+func (r *tcpRig) streamSegments(c *tcp.Conn, n int, spacing time.Duration) error {
+	payload := make([]byte, r.vendor.tcp.Profile().MSS)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Send(payload); err != nil {
+			return fmt.Errorf("exp: warm-up segment %d: %w", i, err)
+		}
+		r.w.RunFor(spacing)
+	}
+	return nil
+}
+
+// gmpMember is one machine in the GMP experiments: daemon over rudp with a
+// PFI layer at the UDP boundary.
+type gmpMember struct {
+	node *netsim.Node
+	net  *rudp.Layer
+	pfi  *core.Layer
+	gmd  *gmp.Daemon
+}
+
+// gmpRig is an n-machine GMP world. Node names sort such that names[0] is
+// the leader-by-id when all machines group together (the paper's compsun
+// numbering).
+type gmpRig struct {
+	w     *netsim.World
+	names []string
+	ms    map[string]*gmpMember
+}
+
+func newGMPRig(names []string, opts ...gmp.Option) (*gmpRig, error) {
+	w := netsim.NewWorld(1995)
+	r := &gmpRig{w: w, names: names, ms: make(map[string]*gmpMember)}
+	for _, name := range names {
+		node, err := w.AddNode(name)
+		if err != nil {
+			return nil, err
+		}
+		net := rudp.NewLayer(node.Env())
+		pfi := core.NewLayer(node.Env(), core.WithStub(gmp.PFIStub{}))
+		node.SetStack(stack.New(node.Env(), net, pfi))
+		gmd, err := gmp.New(node.Env(), net, names, opts...)
+		if err != nil {
+			return nil, err
+		}
+		r.ms[name] = &gmpMember{node: node, net: net, pfi: pfi, gmd: gmd}
+	}
+	if err := w.ConnectAll(netsim.LinkConfig{Latency: lanLatency}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *gmpRig) startAll() {
+	for _, n := range r.names {
+		r.ms[n].gmd.Start()
+	}
+}
+
+// entryTimes extracts the timestamps of trace entries.
+func entryTimes(es []trace.Entry) []simtime.Time {
+	ts := make([]simtime.Time, len(es))
+	for i, e := range es {
+		ts[i] = e.At
+	}
+	return ts
+}
+
+// membersEqual compares a committed view's members with want.
+func membersEqual(g gmp.Group, want []string) bool {
+	if len(g.Members) != len(want) {
+		return false
+	}
+	for i := range want {
+		if g.Members[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,319 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"pfi/internal/tcp"
+)
+
+// --- Table 1: TCP retransmission intervals -----------------------------------
+
+func TestTable1BSDProfiles(t *testing.T) {
+	// SunOS, AIX, and NeXT: 12 retransmissions, exponential backoff to a
+	// 64 s upper bound, RST sent, connection closed.
+	for _, prof := range []tcp.Profile{tcp.SunOS413(), tcp.AIX323(), tcp.NeXTMach()} {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			res, err := RunTCPRetransmission(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Retransmissions != 12 {
+				t.Errorf("retransmissions = %d, want 12", res.Retransmissions)
+			}
+			if !res.PlateauReached || res.Plateau < 50*time.Second || res.Plateau > 70*time.Second {
+				t.Errorf("plateau %v (reached=%v), want ~64 s", res.Plateau, res.PlateauReached)
+			}
+			if !res.ResetSent {
+				t.Error("no TCP reset before closing")
+			}
+			if !res.ConnClosed {
+				t.Error("connection not closed")
+			}
+		})
+	}
+}
+
+func TestTable1Solaris(t *testing.T) {
+	// Solaris: 9 retransmissions from a ~330 ms floor, abrupt close with
+	// no RST, no stabilized upper bound.
+	res, err := RunTCPRetransmission(tcp.Solaris23())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmissions != 9 {
+		t.Errorf("retransmissions = %d, want 9", res.Retransmissions)
+	}
+	if res.ResetSent {
+		t.Error("Solaris sent a RST; the paper observed none")
+	}
+	if !res.ConnClosed {
+		t.Error("connection not closed")
+	}
+	if len(res.Gaps) > 0 && (res.Gaps[0] < 250*time.Millisecond || res.Gaps[0] > time.Second) {
+		t.Errorf("first gap %v, want near the 330 ms floor", res.Gaps[0])
+	}
+	if res.PlateauReached {
+		t.Errorf("Solaris stabilized at %v; the paper saw the connection close first", res.Plateau)
+	}
+}
+
+// --- Table 2 / Figure 4: delayed ACKs ----------------------------------------
+
+func TestTable2JacobsonStacksAdapt(t *testing.T) {
+	for _, delay := range []time.Duration{3 * time.Second, 8 * time.Second} {
+		res, err := RunTCPDelayedACK(tcp.SunOS413(), delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The adapted RTO must exceed the ACK delay: the stack learned the
+		// network got slower.
+		if res.FirstRTO <= delay {
+			t.Errorf("delay %v: first retransmission after %v, want > delay", delay, res.FirstRTO)
+		}
+		// And still ramp to the 64 s bound.
+		if !res.PlateauReached || res.Plateau < 50*time.Second || res.Plateau > 70*time.Second {
+			t.Errorf("delay %v: plateau %v reached=%v", delay, res.Plateau, res.PlateauReached)
+		}
+	}
+}
+
+func TestTable2SolarisDoesNotAdapt(t *testing.T) {
+	for _, delay := range []time.Duration{3 * time.Second, 8 * time.Second} {
+		res, err := RunTCPDelayedACK(tcp.Solaris23(), delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Solaris's RTO stays below the ACK delay ("not nearly as
+		// adaptable"), so the first retransmission beats the ACK.
+		if res.FirstRTO >= delay {
+			t.Errorf("delay %v: Solaris first RTO %v, want < delay", delay, res.FirstRTO)
+		}
+		// And the connection dies before stabilizing at an upper bound.
+		if res.PlateauReached {
+			t.Errorf("delay %v: Solaris stabilized at %v", delay, res.Plateau)
+		}
+		if !res.ConnClosed {
+			t.Errorf("delay %v: connection survived", delay)
+		}
+		// At most the 9-timeout budget; pipelined clean ACKs during the
+		// delay phase keep resetting the counter, so runs land at 7-9
+		// (the paper: "most runs had seven, one had nine").
+		if res.Retransmissions > 9 || res.Retransmissions < 6 {
+			t.Errorf("delay %v: %d retransmissions, want 6-9 (global counter budget)", delay, res.Retransmissions)
+		}
+	}
+}
+
+func TestFigure4Series(t *testing.T) {
+	// Figure 4 plots RTO value per retransmission for no-delay, 3 s, and
+	// 8 s. Shape: each series is nondecreasing, and a longer ACK delay
+	// starts the series higher for the adapting stacks.
+	var first [3]time.Duration
+	for i, delay := range []time.Duration{0, 3 * time.Second, 8 * time.Second} {
+		res, err := RunTCPDelayedACK(tcp.SunOS413(), delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Gaps) < 3 {
+			t.Fatalf("delay %v: only %d gaps", delay, len(res.Gaps))
+		}
+		for j := 1; j < len(res.Gaps); j++ {
+			if res.Gaps[j] < res.Gaps[j-1] {
+				t.Errorf("delay %v: RTO series decreased at %d: %v", delay, j, res.Gaps)
+				break
+			}
+		}
+		first[i] = res.FirstRTO
+	}
+	if !(first[0] < first[1] && first[1] < first[2]) {
+		t.Errorf("first RTOs %v not increasing with ACK delay", first)
+	}
+}
+
+func TestGlobalCounterProbe(t *testing.T) {
+	// The decisive experiment: on Solaris, m1's six retransmissions use up
+	// most of the nine-timeout budget, leaving m2 only three.
+	res, err := RunTCPGlobalCounter(tcp.Solaris23())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M1Retransmit != 6 {
+		t.Errorf("m1 retransmissions = %d, want 6", res.M1Retransmit)
+	}
+	if res.M2Transmit != 3 {
+		t.Errorf("m2 retransmissions = %d, want 3", res.M2Transmit)
+	}
+	if !res.ConnClosed {
+		t.Error("connection survived")
+	}
+	if res.M1Retransmit+res.M2Transmit != 9 {
+		t.Errorf("total timeouts %d, want the 9-timeout global budget",
+			res.M1Retransmit+res.M2Transmit)
+	}
+	// Control: a per-segment counter (BSD) gives m2 a full retry budget.
+	bsd, err := RunTCPGlobalCounter(tcp.SunOS413())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bsd.M2Transmit != 12 {
+		t.Errorf("BSD m2 retransmissions = %d, want the full 12", bsd.M2Transmit)
+	}
+}
+
+// --- Table 3: keep-alive -------------------------------------------------------
+
+func TestTable3BSDKeepAliveDropped(t *testing.T) {
+	res, err := RunTCPKeepAlive(tcp.SunOS413(), true, 4*3600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstProbeAt < 7200*time.Second || res.FirstProbeAt > 7300*time.Second {
+		t.Errorf("first probe at %v, want ~7200 s", res.FirstProbeAt)
+	}
+	if res.ProbeCount != 9 { // initial + 8 retransmissions
+		t.Errorf("probes = %d, want 9", res.ProbeCount)
+	}
+	if !res.FixedInterval {
+		t.Errorf("gaps %v, want fixed 75 s spacing", res.Gaps)
+	}
+	if len(res.Gaps) > 0 && res.Gaps[0] != 75*time.Second {
+		t.Errorf("probe gap %v, want 75 s", res.Gaps[0])
+	}
+	if !res.ResetSent || !res.ConnClosed {
+		t.Errorf("reset=%v closed=%v, want RST then close", res.ResetSent, res.ConnClosed)
+	}
+	if !res.GarbageByte {
+		t.Error("SunOS probe must carry 1 garbage byte")
+	}
+	// AIX/NeXT: same schedule but no garbage byte.
+	aix, err := RunTCPKeepAlive(tcp.AIX323(), true, 4*3600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aix.GarbageByte {
+		t.Error("AIX probe must carry no data")
+	}
+	if aix.ProbeCount != 9 || !aix.ResetSent {
+		t.Errorf("AIX probes=%d reset=%v", aix.ProbeCount, aix.ResetSent)
+	}
+}
+
+func TestTable3SolarisKeepAlive(t *testing.T) {
+	res, err := RunTCPKeepAlive(tcp.Solaris23(), true, 4*3600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spec violation: first probe before the 7200 s minimum.
+	if res.FirstProbeAt < 6752*time.Second || res.FirstProbeAt >= 7200*time.Second {
+		t.Errorf("first probe at %v, want 6752 s (a violation of the 7200 s spec minimum)", res.FirstProbeAt)
+	}
+	if res.ProbeCount != 8 { // initial + 7 retransmissions
+		t.Errorf("probes = %d, want 8", res.ProbeCount)
+	}
+	if !res.Backoff {
+		t.Errorf("gaps %v, want exponential backoff", res.Gaps)
+	}
+	if res.ResetSent {
+		t.Error("Solaris closed silently in the paper; no RST expected")
+	}
+	if !res.ConnClosed {
+		t.Error("connection survived")
+	}
+}
+
+func TestTable3AnsweredProbesContinue(t *testing.T) {
+	// 112-hour variant: answered keep-alives continue indefinitely.
+	res, err := RunTCPKeepAlive(tcp.Solaris23(), false, 112*3600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConnClosed {
+		t.Error("connection with answered keep-alives closed")
+	}
+	if res.ProbeCount < 55 { // ~60 probes at 6752 s over 112 h
+		t.Errorf("probes = %d, want ~60", res.ProbeCount)
+	}
+	if res.SteadyInterval < 6752*time.Second || res.SteadyInterval > 6800*time.Second {
+		t.Errorf("steady interval %v, want ~6752 s", res.SteadyInterval)
+	}
+	sun, err := RunTCPKeepAlive(tcp.SunOS413(), false, 8*3600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sun.ProbeCount < 3 || sun.SteadyInterval < 7200*time.Second || sun.SteadyInterval > 7300*time.Second {
+		t.Errorf("SunOS answered probes=%d interval=%v, want ~4 at 7200 s", sun.ProbeCount, sun.SteadyInterval)
+	}
+}
+
+// --- Table 4: zero-window probes -------------------------------------------------
+
+func TestTable4ProbeIntervals(t *testing.T) {
+	res, err := RunTCPZeroWindow(tcp.SunOS413(), ZWAcked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyInterval != 60*time.Second {
+		t.Errorf("SunOS probe interval %v, want 60 s", res.SteadyInterval)
+	}
+	if !res.StillProbing || !res.ConnOpen {
+		t.Errorf("probing=%v open=%v, want probing to continue", res.StillProbing, res.ConnOpen)
+	}
+	sol, err := RunTCPZeroWindow(tcp.Solaris23(), ZWAcked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.SteadyInterval != 56*time.Second {
+		t.Errorf("Solaris probe interval %v, want 56 s", sol.SteadyInterval)
+	}
+}
+
+func TestTable4UnansweredProbesNeverGiveUp(t *testing.T) {
+	res, err := RunTCPZeroWindow(tcp.AIX323(), ZWDropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StillProbing || !res.ConnOpen {
+		t.Errorf("unanswered probing stopped: probing=%v open=%v", res.StillProbing, res.ConnOpen)
+	}
+}
+
+func TestTable4TwoDayUnplug(t *testing.T) {
+	// "Two days later, when the ethernet was reconnected, the probes were
+	// still being sent."
+	res, err := RunTCPZeroWindow(tcp.SunOS413(), ZWUnplugged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StillProbing || !res.ConnOpen {
+		t.Errorf("prober gave up during the 2-day unplug: probing=%v open=%v",
+			res.StillProbing, res.ConnOpen)
+	}
+	// ~2 days at 60 s intervals: thousands of probes.
+	if res.ProbeCount < 2000 {
+		t.Errorf("probes = %d, want thousands over two days", res.ProbeCount)
+	}
+}
+
+// --- Experiment 5: reordering ----------------------------------------------------
+
+func TestReorderAllVendorsQueue(t *testing.T) {
+	// "The result was the same for [all four]": the out-of-order segment
+	// was queued, and both were acked when the gap filled.
+	for _, prof := range tcp.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			res, err := RunTCPReorder(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.SecondQueued {
+				t.Error("receiver delivered data before the gap filled")
+			}
+			if !res.BothDelivered || !res.DeliveredOrder {
+				t.Errorf("delivered=%v in-order=%v", res.BothDelivered, res.DeliveredOrder)
+			}
+		})
+	}
+}

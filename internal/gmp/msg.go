@@ -1,0 +1,233 @@
+// Package gmp implements the strong group membership protocol the paper's
+// Section 4.2 tests: a group of daemons with a unique leader (lowest id),
+// heartbeat failure detection, PROCLAIM/JOIN solicitation, and a two-phase
+// MEMBERSHIP_CHANGE/ACK/COMMIT agreement that makes all members see
+// membership changes in the same order.
+//
+// The paper's subject was a student implementation containing three real
+// bugs that the PFI experiments uncovered. All three are reproduced behind
+// options so each experiment can demonstrate the discovery and the fix:
+//
+//   - WithSelfDeathBug: a daemon that stops hearing its own heartbeats
+//     announces its own death instead of forming a singleton group, and its
+//     proclaim-forwarding path silently loses packets (a parameter-passing
+//     bug in the original).
+//   - WithProclaimForwardBug: the leader answers a forwarded PROCLAIM's
+//     sender instead of its originator, creating the proclaim loop of
+//     Experiment 3.
+//   - WithTimerUnsetBug: the timeout-unregistration logic is inverted
+//     (NULL unregisters one instead of all), so entering IN_TRANSITION
+//     leaves stray heartbeat-expect timers armed — Experiment 4's finding.
+package gmp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pfi/internal/message"
+)
+
+// Message types.
+const (
+	TypeHeartbeat  = 1
+	TypeProclaim   = 2
+	TypeJoin       = 3
+	TypeMembership = 4 // MEMBERSHIP_CHANGE, phase 1
+	TypeAck        = 5
+	TypeNak        = 6
+	TypeCommit     = 7 // phase 2
+	TypeDeadReport = 8
+	TypeDepart     = 9 // graceful leave (scheduled maintenance)
+)
+
+var typeNames = map[uint8]string{
+	TypeHeartbeat:  "HEARTBEAT",
+	TypeProclaim:   "PROCLAIM",
+	TypeJoin:       "JOIN",
+	TypeMembership: "MEMBERSHIP_CHANGE",
+	TypeAck:        "ACK",
+	TypeNak:        "NAK",
+	TypeCommit:     "COMMIT",
+	TypeDeadReport: "DEAD_REPORT",
+	TypeDepart:     "DEPART",
+}
+
+// TypeName renders a message type constant.
+func TypeName(t uint8) string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("TYPE(%d)", t)
+}
+
+// Msg is one GMP protocol message.
+type Msg struct {
+	Type uint8
+	// Gen is the group generation the message refers to.
+	Gen uint32
+	// Origin is the daemon the message is about/from originally; it
+	// survives forwarding.
+	Origin string
+	// Sender is the daemon that transmitted this copy (differs from Origin
+	// for forwarded PROCLAIMs). Experiment 3's bug is answering Sender.
+	Sender string
+	// Members carries the proposed/committed membership (MEMBERSHIP_CHANGE,
+	// COMMIT) or the dead node (DEAD_REPORT).
+	Members []string
+}
+
+// TypeName renders the message's type.
+func (m *Msg) TypeName() string { return TypeName(m.Type) }
+
+// Encode serializes the message.
+func (m *Msg) Encode() []byte {
+	w := message.NewWriter(16 + len(m.Origin) + len(m.Sender))
+	w.U8(m.Type).U32(m.Gen)
+	putStr(w, m.Origin)
+	putStr(w, m.Sender)
+	w.U8(uint8(len(m.Members)))
+	for _, mem := range m.Members {
+		putStr(w, mem)
+	}
+	return w.Done()
+}
+
+func putStr(w *message.Writer, s string) {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	w.U8(uint8(len(s)))
+	w.Bytes([]byte(s))
+}
+
+// DecodeMsg parses a GMP message from raw payload bytes.
+func DecodeMsg(raw []byte) (*Msg, error) {
+	r := message.NewReader(raw)
+	m := &Msg{Type: r.U8(), Gen: r.U32()}
+	var err error
+	if m.Origin, err = getStr(r); err != nil {
+		return nil, err
+	}
+	if m.Sender, err = getStr(r); err != nil {
+		return nil, err
+	}
+	n := int(r.U8())
+	for i := 0; i < n; i++ {
+		s, err := getStr(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Members = append(m.Members, s)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("gmp: short message: %w", err)
+	}
+	if _, ok := typeNames[m.Type]; !ok {
+		return nil, fmt.Errorf("gmp: unknown message type %d", m.Type)
+	}
+	return m, nil
+}
+
+func getStr(r *message.Reader) (string, error) {
+	n := int(r.U8())
+	b := r.Take(n)
+	if err := r.Err(); err != nil {
+		return "", fmt.Errorf("gmp: short string: %w", err)
+	}
+	return string(b), nil
+}
+
+// Fields exposes the message to PFI filter scripts.
+func (m *Msg) Fields() map[string]string {
+	return map[string]string{
+		"origin":  m.Origin,
+		"sender":  m.Sender,
+		"gen":     strconv.FormatUint(uint64(m.Gen), 10),
+		"members": strings.Join(m.Members, ","),
+	}
+}
+
+// Group is a committed membership view.
+type Group struct {
+	Gen     uint32
+	Members []string // sorted ascending
+}
+
+// NewGroup builds a normalized (sorted, deduplicated) group.
+func NewGroup(gen uint32, members []string) Group {
+	seen := make(map[string]bool, len(members))
+	var out []string
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return Group{Gen: gen, Members: out}
+}
+
+// Leader returns the member with the lowest id ("a group of processors
+// have a unique leader based on the processor id").
+func (g Group) Leader() string {
+	if len(g.Members) == 0 {
+		return ""
+	}
+	return g.Members[0]
+}
+
+// CrownPrince returns the next-in-line leader ("" for singleton groups).
+func (g Group) CrownPrince() string {
+	if len(g.Members) < 2 {
+		return ""
+	}
+	return g.Members[1]
+}
+
+// Contains reports membership.
+func (g Group) Contains(id string) bool {
+	for _, m := range g.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Without returns a copy of the member list excluding the given ids.
+func (g Group) Without(ids ...string) []string {
+	out := make([]string, 0, len(g.Members))
+	for _, m := range g.Members {
+		drop := false
+		for _, id := range ids {
+			if m == id {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Equal reports deep equality.
+func (g Group) Equal(o Group) bool {
+	if g.Gen != o.Gen || len(g.Members) != len(o.Members) {
+		return false
+	}
+	for i := range g.Members {
+		if g.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "gen=N {a b c}".
+func (g Group) String() string {
+	return fmt.Sprintf("gen=%d {%s}", g.Gen, strings.Join(g.Members, " "))
+}

@@ -1,0 +1,81 @@
+package gmp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pfi/internal/core"
+	"pfi/internal/message"
+	"pfi/internal/rudp"
+)
+
+// PFIStub is the GMP packet recognition/generation stub — the kind "written
+// by the protocol developer for an application-level protocol". The PFI
+// layer sits below the reliable-UDP layer (at the paper's "udp send and
+// receive calls"), so recognition sees rudp frames and looks through them
+// to the GMP message inside.
+//
+// Reported types: the GMP message types (HEARTBEAT, PROCLAIM, JOIN,
+// MEMBERSHIP_CHANGE, ACK, NAK, COMMIT, DEAD_REPORT) for DATA/RAW frames,
+// and RUDP-ACK for the reliability layer's acknowledgments.
+type PFIStub struct{}
+
+var _ core.Stub = PFIStub{}
+
+// Protocol implements core.Stub.
+func (PFIStub) Protocol() string { return "gmp" }
+
+// Recognize implements core.Stub.
+func (PFIStub) Recognize(m *message.Message) (core.Info, error) {
+	f, err := rudp.Decode(m)
+	if err != nil {
+		return core.Info{}, err
+	}
+	if f.Kind == rudp.KindAck {
+		return core.Info{Type: "RUDP-ACK", Fields: f.Fields()}, nil
+	}
+	gm, err := DecodeMsg(f.Payload)
+	if err != nil {
+		return core.Info{}, fmt.Errorf("gmp stub: %w", err)
+	}
+	fields := gm.Fields()
+	for k, v := range f.Fields() {
+		fields["rudp_"+k] = v
+	}
+	return core.Info{Type: gm.TypeName(), Fields: fields}, nil
+}
+
+// Generate implements core.Stub: it builds a GMP message wrapped in an
+// unreliable (RAW) rudp frame, since the PFI layer cannot update the
+// reliability layer's sequence state — the same constraint the paper
+// describes for stateful TCP sends.
+func (PFIStub) Generate(typ string, fields map[string]string) (*message.Message, error) {
+	var t uint8
+	for id, name := range map[uint8]string{
+		TypeHeartbeat: "HEARTBEAT", TypeProclaim: "PROCLAIM", TypeJoin: "JOIN",
+		TypeMembership: "MEMBERSHIP_CHANGE", TypeAck: "ACK", TypeNak: "NAK",
+		TypeCommit: "COMMIT", TypeDeadReport: "DEAD_REPORT",
+	} {
+		if name == typ {
+			t = id
+			break
+		}
+	}
+	if t == 0 {
+		return nil, fmt.Errorf("gmp stub: cannot generate %q", typ)
+	}
+	gm := &Msg{Type: t, Origin: fields["origin"], Sender: fields["sender"]}
+	if g := fields["gen"]; g != "" {
+		v, err := strconv.ParseUint(g, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gmp stub: bad gen %q", g)
+		}
+		gm.Gen = uint32(v)
+	}
+	if ms := fields["members"]; ms != "" {
+		gm.Members = strings.Split(ms, ",")
+	}
+	f := &rudp.Frame{Kind: rudp.KindRaw, Payload: gm.Encode()}
+	return f.Encode(), nil
+}

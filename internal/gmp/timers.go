@@ -1,0 +1,121 @@
+package gmp
+
+import (
+	"time"
+
+	"pfi/internal/simtime"
+)
+
+// Timer kinds used by the daemon.
+const (
+	timerHBSend     = "hb-send"
+	timerHBExpect   = "hb-expect"
+	timerProclaim   = "proclaim"
+	timerMCCollect  = "mc-collect"
+	timerTransition = "transition"
+)
+
+// timerEntry is one registered timeout.
+type timerEntry struct {
+	kind string
+	key  string
+	ev   *simtime.Event
+}
+
+// timerTable manages the daemon's named timeouts. The paper's Experiment 4
+// found a logic inversion in the original unregistration routine: "if an
+// argument is NULL, all timeouts of the same type are unregistered. If the
+// argument is non-NULL, only the first is unregistered. It worked the
+// opposite of how it should have." unsetBug reproduces that inversion.
+type timerTable struct {
+	sched    *simtime.Scheduler
+	entries  []*timerEntry // insertion order (deterministic "first")
+	unsetBug bool
+}
+
+func newTimerTable(s *simtime.Scheduler, unsetBug bool) *timerTable {
+	return &timerTable{sched: s, unsetBug: unsetBug}
+}
+
+// set arms (or re-arms) the (kind, key) timer.
+func (t *timerTable) set(kind, key string, d time.Duration, name string, fn func()) {
+	t.unsetExact(kind, key)
+	ev := t.sched.After(d, name, fn)
+	t.entries = append(t.entries, &timerEntry{kind: kind, key: key, ev: ev})
+}
+
+// isSet reports whether the (kind, key) timer is armed.
+func (t *timerTable) isSet(kind, key string) bool {
+	for _, e := range t.entries {
+		if e.kind == kind && e.key == key && e.ev.Pending() {
+			return true
+		}
+	}
+	return false
+}
+
+// armedOf counts armed timers of a kind.
+func (t *timerTable) armedOf(kind string) int {
+	n := 0
+	for _, e := range t.entries {
+		if e.kind == kind && e.ev.Pending() {
+			n++
+		}
+	}
+	return n
+}
+
+// unsetExact always removes exactly the (kind, key) entry, bypassing the
+// bug; it is the internal helper used when re-arming.
+func (t *timerTable) unsetExact(kind, key string) {
+	for i, e := range t.entries {
+		if e.kind == kind && e.key == key {
+			t.sched.Cancel(e.ev)
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// unset removes timers per the protocol's intended semantics: key == ""
+// means "all timeouts of this kind", a non-empty key means "that one".
+// With unsetBug the behaviours are swapped, as in the student code.
+func (t *timerTable) unset(kind, key string) {
+	all := key == ""
+	if t.unsetBug {
+		all = !all
+	}
+	if all {
+		kept := t.entries[:0]
+		for _, e := range t.entries {
+			if e.kind == kind {
+				t.sched.Cancel(e.ev)
+				continue
+			}
+			kept = append(kept, e)
+		}
+		t.entries = kept
+		return
+	}
+	// Remove only the first entry of the kind (the buggy NULL path removes
+	// the first regardless of key; the correct keyed path removes the
+	// first match, which is the same entry when keys are unique).
+	for i, e := range t.entries {
+		if e.kind != kind {
+			continue
+		}
+		if t.unsetBug || e.key == key {
+			t.sched.Cancel(e.ev)
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// unsetAllKinds cancels everything (daemon shutdown).
+func (t *timerTable) unsetAllKinds() {
+	for _, e := range t.entries {
+		t.sched.Cancel(e.ev)
+	}
+	t.entries = nil
+}

@@ -1,0 +1,119 @@
+package gmp
+
+import (
+	"testing"
+	"time"
+
+	"pfi/internal/simtime"
+)
+
+func TestTimerTableSetFires(t *testing.T) {
+	s := simtime.NewScheduler()
+	tt := newTimerTable(s, false)
+	fired := 0
+	tt.set("hb-expect", "n1", time.Second, "t", func() { fired++ })
+	if !tt.isSet("hb-expect", "n1") {
+		t.Fatal("timer not armed")
+	}
+	if tt.isSet("hb-expect", "n2") {
+		t.Fatal("wrong key reported armed")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d", fired)
+	}
+	if tt.isSet("hb-expect", "n1") {
+		t.Fatal("fired timer still reported armed")
+	}
+}
+
+func TestTimerTableReArmReplaces(t *testing.T) {
+	s := simtime.NewScheduler()
+	tt := newTimerTable(s, false)
+	fired := 0
+	tt.set("hb-expect", "n1", time.Second, "t", func() { fired++ })
+	tt.set("hb-expect", "n1", 2*time.Second, "t", func() { fired += 10 })
+	s.Run()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want only the re-armed timer", fired)
+	}
+	if tt.armedOf("hb-expect") != 0 {
+		t.Fatal("armed count after fire")
+	}
+}
+
+func TestTimerTableUnsetCorrectSemantics(t *testing.T) {
+	s := simtime.NewScheduler()
+	tt := newTimerTable(s, false) // fixed code
+	for _, k := range []string{"a", "b", "c"} {
+		tt.set("hb-expect", k, time.Second, "t", func() {})
+	}
+	tt.set("proclaim", "", time.Second, "t", func() {})
+
+	// Keyed unset removes exactly that entry.
+	tt.unset("hb-expect", "b")
+	if tt.armedOf("hb-expect") != 2 || tt.isSet("hb-expect", "b") {
+		t.Fatalf("keyed unset: armed=%d", tt.armedOf("hb-expect"))
+	}
+	// Empty key unsets ALL of the kind, leaving other kinds alone.
+	tt.unset("hb-expect", "")
+	if tt.armedOf("hb-expect") != 0 {
+		t.Fatalf("unset-all left %d armed", tt.armedOf("hb-expect"))
+	}
+	if tt.armedOf("proclaim") != 1 {
+		t.Fatal("unset-all crossed kinds")
+	}
+}
+
+func TestTimerTableUnsetBuggySemantics(t *testing.T) {
+	s := simtime.NewScheduler()
+	tt := newTimerTable(s, true) // the inverted logic of the student code
+	for _, k := range []string{"a", "b", "c"} {
+		tt.set("hb-expect", k, time.Second, "t", func() {})
+	}
+	// The NULL (unset-all) path removes only the FIRST entry.
+	tt.unset("hb-expect", "")
+	if got := tt.armedOf("hb-expect"); got != 2 {
+		t.Fatalf("buggy unset-all left %d armed, want 2 (the bug)", got)
+	}
+	if tt.isSet("hb-expect", "a") {
+		t.Fatal("buggy unset-all should have removed the oldest entry")
+	}
+	// The keyed path removes ALL of the kind, ignoring the key.
+	tt.unset("hb-expect", "c")
+	if got := tt.armedOf("hb-expect"); got != 0 {
+		t.Fatalf("buggy keyed unset left %d armed, want 0 (the bug)", got)
+	}
+}
+
+func TestTimerTableUnsetAllKinds(t *testing.T) {
+	s := simtime.NewScheduler()
+	tt := newTimerTable(s, false)
+	fired := 0
+	tt.set("a", "", time.Second, "t", func() { fired++ })
+	tt.set("b", "", time.Second, "t", func() { fired++ })
+	tt.unsetAllKinds()
+	s.Run()
+	if fired != 0 {
+		t.Fatalf("cancelled timers fired %d times", fired)
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	if TypeName(TypeProclaim) != "PROCLAIM" {
+		t.Error("PROCLAIM name")
+	}
+	if TypeName(99) != "TYPE(99)" {
+		t.Error("unknown type name")
+	}
+	m := &Msg{Type: TypeCommit}
+	if m.TypeName() != "COMMIT" {
+		t.Error("Msg.TypeName")
+	}
+}
+
+func TestStubProtocolName(t *testing.T) {
+	if (PFIStub{}).Protocol() != "gmp" {
+		t.Error("stub protocol name")
+	}
+}

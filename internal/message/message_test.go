@@ -1,0 +1,269 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCopiesData(t *testing.T) {
+	src := []byte{1, 2, 3}
+	m := New(src)
+	src[0] = 99
+	if m.Bytes()[0] != 1 {
+		t.Fatal("New did not copy its input")
+	}
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	m := NewString("payload")
+	hdr := []byte{0xAA, 0xBB, 0xCC}
+	m.Push(hdr)
+	if m.Len() != 10 {
+		t.Fatalf("Len after push = %d, want 10", m.Len())
+	}
+	got, err := m.Pop(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, hdr) {
+		t.Fatalf("popped %x, want %x", got, hdr)
+	}
+	if string(m.Bytes()) != "payload" {
+		t.Fatalf("payload corrupted: %q", m.Bytes())
+	}
+}
+
+func TestPushEmptyHeaderNoop(t *testing.T) {
+	m := NewString("x")
+	m.Push(nil)
+	if m.Len() != 1 {
+		t.Fatal("Push(nil) changed length")
+	}
+}
+
+func TestNestedHeaders(t *testing.T) {
+	m := NewString("data")
+	m.Push([]byte("tcp:"))
+	m.Push([]byte("ip:"))
+	m.Push([]byte("eth:"))
+	for _, want := range []string{"eth:", "ip:", "tcp:"} {
+		h, err := m.Pop(len(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(h) != want {
+			t.Fatalf("popped %q, want %q", h, want)
+		}
+	}
+	if string(m.Bytes()) != "data" {
+		t.Fatalf("payload = %q, want data", m.Bytes())
+	}
+}
+
+func TestPopTooMuch(t *testing.T) {
+	m := NewString("ab")
+	if _, err := m.Pop(3); err == nil {
+		t.Fatal("Pop(3) of 2-byte message did not fail")
+	}
+	if _, err := m.Pop(-1); err == nil {
+		t.Fatal("Pop(-1) did not fail")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	m := NewString("abcdef")
+	p, err := m.Peek(3)
+	if err != nil || string(p) != "abc" {
+		t.Fatalf("Peek = %q, %v", p, err)
+	}
+	if m.Len() != 6 {
+		t.Fatal("Peek consumed bytes")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewString("abc")
+	m.SetAttr("k", 1)
+	c := m.Clone()
+	if c.ID() == m.ID() {
+		t.Fatal("clone shares ID")
+	}
+	if c.Origin() != m.ID() {
+		t.Fatalf("clone origin %d, want %d", c.Origin(), m.ID())
+	}
+	if err := c.SetByte(0, 'z'); err != nil {
+		t.Fatal(err)
+	}
+	if m.Bytes()[0] != 'a' {
+		t.Fatal("mutating clone changed original")
+	}
+	c.SetAttr("k", 2)
+	if v, _ := m.Attr("k"); v != 1 {
+		t.Fatal("clone attr map aliases original")
+	}
+}
+
+func TestCloneOfCloneKeepsOrigin(t *testing.T) {
+	m := NewString("abc")
+	c2 := m.Clone().Clone()
+	if c2.Origin() != m.ID() {
+		t.Fatalf("grand-clone origin %d, want %d", c2.Origin(), m.ID())
+	}
+}
+
+func TestSetByteAndByteAt(t *testing.T) {
+	m := NewString("abc")
+	if err := m.SetByte(1, 'X'); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ByteAt(1)
+	if err != nil || b != 'X' {
+		t.Fatalf("ByteAt = %q, %v", b, err)
+	}
+	if err := m.SetByte(3, 0); err == nil {
+		t.Fatal("SetByte out of range did not fail")
+	}
+	if _, err := m.ByteAt(-1); err == nil {
+		t.Fatal("ByteAt(-1) did not fail")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	m := NewString("abcdef")
+	if err := m.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes()) != "ab" {
+		t.Fatalf("after truncate: %q", m.Bytes())
+	}
+	if err := m.Truncate(10); err == nil {
+		t.Fatal("Truncate beyond length did not fail")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	m := New(nil)
+	if _, ok := m.Attr("missing"); ok {
+		t.Fatal("Attr on empty map returned ok")
+	}
+	m.SetAttr("type", "ACK")
+	v, ok := m.Attr("type")
+	if !ok || v != "ACK" {
+		t.Fatalf("Attr = %v, %v", v, ok)
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	seen := map[ID]bool{}
+	for i := 0; i < 100; i++ {
+		id := New(nil).ID()
+		if seen[id] {
+			t.Fatalf("duplicate message ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// Property: Push then Pop of any header over any payload is the identity.
+func TestPropertyPushPopInverse(t *testing.T) {
+	f := func(hdr, payload []byte) bool {
+		m := New(payload)
+		m.Push(hdr)
+		got, err := m.Pop(len(hdr))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, hdr) && bytes.Equal(m.Bytes(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a stack of pushed headers pops back in LIFO order.
+func TestPropertyHeaderStackLIFO(t *testing.T) {
+	f := func(hdrs [][]byte, payload []byte) bool {
+		if len(hdrs) > 8 {
+			hdrs = hdrs[:8]
+		}
+		m := New(payload)
+		for _, h := range hdrs {
+			m.Push(h)
+		}
+		for i := len(hdrs) - 1; i >= 0; i-- {
+			got, err := m.Pop(len(hdrs[i]))
+			if err != nil || !bytes.Equal(got, hdrs[i]) {
+				return false
+			}
+		}
+		return bytes.Equal(m.Bytes(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	hdr := NewWriter(32).
+		U8(7).U16(513).U32(1 << 30).U64(1 << 40).
+		Bytes([]byte("tail")).Done()
+	r := NewReader(hdr)
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := r.U16(); v != 513 {
+		t.Fatalf("U16 = %d", v)
+	}
+	if v := r.U32(); v != 1<<30 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := r.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if tail := r.Take(4); string(tail) != "tail" {
+		t.Fatalf("Take = %q", tail)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.U32()
+	if r.Err() == nil {
+		t.Fatal("short U32 did not set error")
+	}
+	if v := r.U8(); v != 0 {
+		t.Fatal("read after error returned data")
+	}
+}
+
+// Property: Writer/Reader round-trip arbitrary field values.
+func TestPropertyWriterReader(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, d uint64) bool {
+		buf := NewWriter(15).U8(a).U16(b).U32(c).U64(d).Done()
+		r := NewReader(buf)
+		return r.U8() == a && r.U16() == b && r.U32() == c && r.U64() == d && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	payload := bytes.Repeat([]byte("x"), 512)
+	hdr := bytes.Repeat([]byte("h"), 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(payload)
+		m.Push(hdr)
+		if _, err := m.Pop(len(hdr)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package netsim is the deterministic network substrate the experiments run
+// on: named nodes, point-to-point links with latency/jitter/loss, network
+// partitions, and the "unplugged Ethernet" fault from the paper's
+// zero-window-probe experiment.
+//
+// netsim replaces the paper's real lab Ethernet. Messages are delivered as
+// simtime events, so an experiment spanning days of protocol time (the
+// two-day unplug test) runs deterministically in milliseconds.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"pfi/internal/dist"
+	"pfi/internal/message"
+	"pfi/internal/simtime"
+	"pfi/internal/stack"
+	"pfi/internal/trace"
+)
+
+// Attribute keys netsim reads/writes on messages.
+const (
+	AttrSrc = "netsim.src" // set by netsim on transmit
+	AttrDst = "netsim.dst" // must be set by the sender's stack
+)
+
+// Broadcast is the destination meaning "every other node".
+const Broadcast = "*"
+
+// LinkConfig describes one direction-independent link.
+type LinkConfig struct {
+	// Latency is the base propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform draw in [0, Jitter) per message.
+	Jitter time.Duration
+	// Loss drops each message independently with this probability.
+	Loss float64
+}
+
+// link is the mutable state of a configured link.
+type link struct {
+	cfg LinkConfig
+	up  bool
+}
+
+// Stats counts world-level message outcomes.
+type Stats struct {
+	Sent        int
+	Delivered   int
+	LostRandom  int // dropped by link loss probability
+	LostDown    int // dropped because a link was down or endpoint unplugged
+	LostNoRoute int // dropped because no link exists
+	LostCut     int // dropped by a partition
+}
+
+// World is one simulated network. Not safe for concurrent use.
+type World struct {
+	Sched *simtime.Scheduler
+	rng   *dist.Source
+	nodes map[string]*Node
+	order []string // creation order, for deterministic broadcast fan-out
+	links map[[2]string]*link
+	def   *LinkConfig // default link config for unconnected pairs, if any
+	group map[string]int
+	stats Stats
+	log   *trace.Log // optional wire-level log
+}
+
+// NewWorld creates an empty world with its own scheduler and a seeded
+// random source.
+func NewWorld(seed int64) *World {
+	return &World{
+		Sched: simtime.NewScheduler(),
+		rng:   dist.NewSource(seed),
+		nodes: make(map[string]*Node),
+		links: make(map[[2]string]*link),
+		group: make(map[string]int),
+	}
+}
+
+// SetTrace mirrors wire events (send/deliver/drop) into l.
+func (w *World) SetTrace(l *trace.Log) { w.log = l }
+
+// Stats returns a copy of the world's counters.
+func (w *World) Stats() Stats { return w.stats }
+
+// Rand returns the world's random source (for experiment components that
+// must share the deterministic stream).
+func (w *World) Rand() *dist.Source { return w.rng }
+
+// Node is one machine on the network.
+type Node struct {
+	name      string
+	world     *World
+	stk       *stack.Stack
+	env       *stack.Env
+	unplugged bool
+}
+
+// AddNode registers a machine. Node names must be unique.
+func (w *World) AddNode(name string) (*Node, error) {
+	if name == "" || name == Broadcast {
+		return nil, fmt.Errorf("netsim: invalid node name %q", name)
+	}
+	if _, dup := w.nodes[name]; dup {
+		return nil, fmt.Errorf("netsim: duplicate node %q", name)
+	}
+	n := &Node{
+		name:  name,
+		world: w,
+		env:   &stack.Env{Sched: w.Sched, Node: name},
+	}
+	w.nodes[name] = n
+	w.order = append(w.order, name)
+	return n, nil
+}
+
+// MustAddNode is AddNode for experiment setup code.
+func (w *World) MustAddNode(name string) *Node {
+	n, err := w.AddNode(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node looks up a machine by name.
+func (w *World) Node(name string) (*Node, bool) {
+	n, ok := w.nodes[name]
+	return n, ok
+}
+
+// Nodes returns node names in creation order.
+func (w *World) Nodes() []string { return append([]string(nil), w.order...) }
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Env returns the node's per-stack environment (scheduler + name).
+func (n *Node) Env() *stack.Env { return n.env }
+
+// World returns the owning world.
+func (n *Node) World() *World { return n.world }
+
+// SetStack attaches a protocol stack: outbound messages leaving the
+// stack's bottom enter the network; inbound deliveries enter the stack's
+// bottom layer.
+func (n *Node) SetStack(s *stack.Stack) {
+	n.stk = s
+	s.OnTransmit(func(m *message.Message) error {
+		return n.world.transmit(n.name, m)
+	})
+}
+
+// Stack returns the attached stack (nil if none).
+func (n *Node) Stack() *stack.Stack { return n.stk }
+
+// Unplug disconnects the node's network cable: everything to or from it is
+// silently lost, exactly like the paper's two-day Ethernet unplug.
+func (n *Node) Unplug() { n.unplugged = true }
+
+// Replug reconnects the cable.
+func (n *Node) Replug() { n.unplugged = false }
+
+// Unplugged reports the cable state.
+func (n *Node) Unplugged() bool { return n.unplugged }
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Connect creates (or reconfigures) the bidirectional link between a and b.
+func (w *World) Connect(a, b string, cfg LinkConfig) error {
+	if _, ok := w.nodes[a]; !ok {
+		return fmt.Errorf("netsim: unknown node %q", a)
+	}
+	if _, ok := w.nodes[b]; !ok {
+		return fmt.Errorf("netsim: unknown node %q", b)
+	}
+	if a == b {
+		return fmt.Errorf("netsim: cannot link %q to itself", a)
+	}
+	if cfg.Loss < 0 || cfg.Loss > 1 {
+		return fmt.Errorf("netsim: loss probability %v out of [0,1]", cfg.Loss)
+	}
+	w.links[pairKey(a, b)] = &link{cfg: cfg, up: true}
+	return nil
+}
+
+// ConnectAll links every pair of current nodes with cfg (a full mesh —
+// the LAN the paper's machines shared).
+func (w *World) ConnectAll(cfg LinkConfig) error {
+	for i, a := range w.order {
+		for _, b := range w.order[i+1:] {
+			if err := w.Connect(a, b, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetLinkUp raises or cuts the a<->b link (link crash failures).
+func (w *World) SetLinkUp(a, b string, up bool) error {
+	l, ok := w.links[pairKey(a, b)]
+	if !ok {
+		return fmt.Errorf("netsim: no link %s<->%s", a, b)
+	}
+	l.up = up
+	return nil
+}
+
+// Partition splits the network into the given groups: messages crossing
+// group boundaries are dropped. Nodes not mentioned keep connectivity only
+// among themselves (they form an implicit extra group).
+func (w *World) Partition(groups ...[]string) {
+	w.group = make(map[string]int)
+	for gi, g := range groups {
+		for _, name := range g {
+			w.group[name] = gi + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (w *World) Heal() { w.group = make(map[string]int) }
+
+// Partitioned reports whether a partition separates a and b.
+func (w *World) Partitioned(a, b string) bool {
+	return w.group[a] != w.group[b]
+}
+
+// transmit routes m from the named node, using the message's AttrDst.
+func (w *World) transmit(from string, m *message.Message) error {
+	dstAttr, ok := m.Attr(AttrDst)
+	if !ok {
+		return fmt.Errorf("netsim: message %v from %s has no destination", m.ID(), from)
+	}
+	dst, ok := dstAttr.(string)
+	if !ok {
+		return fmt.Errorf("netsim: message %v destination is %T, want string", m.ID(), dstAttr)
+	}
+	m.SetAttr(AttrSrc, from)
+	if dst == Broadcast {
+		for _, name := range w.order {
+			if name == from {
+				continue
+			}
+			w.sendOne(from, name, m.Clone())
+		}
+		return nil
+	}
+	if _, ok := w.nodes[dst]; !ok {
+		return fmt.Errorf("netsim: unknown destination %q", dst)
+	}
+	if dst == from {
+		// Loopback: never leaves the host, so it ignores cables, links,
+		// and partitions — but it HAS traversed the sender's stack (and
+		// any PFI layer in it), which is what lets the paper's experiment
+		// drop a daemon's heartbeats to itself.
+		w.stats.Sent++
+		node := w.nodes[from]
+		w.Sched.After(0, "loopback "+from, func() {
+			w.stats.Delivered++
+			if node.stk != nil {
+				_ = node.stk.Deliver(m)
+			}
+		})
+		return nil
+	}
+	w.sendOne(from, dst, m)
+	return nil
+}
+
+func (w *World) sendOne(from, to string, m *message.Message) {
+	w.stats.Sent++
+	src := w.nodes[from]
+	dst := w.nodes[to]
+	if src.unplugged || dst.unplugged {
+		w.drop(from, to, m, "unplugged")
+		w.stats.LostDown++
+		return
+	}
+	if w.Partitioned(from, to) {
+		w.drop(from, to, m, "partitioned")
+		w.stats.LostCut++
+		return
+	}
+	l, cfg := w.linkFor(from, to)
+	if l == nil && cfg == nil {
+		w.drop(from, to, m, "no route")
+		w.stats.LostNoRoute++
+		return
+	}
+	if l != nil && !l.up {
+		w.drop(from, to, m, "link down")
+		w.stats.LostDown++
+		return
+	}
+	c := cfg
+	if l != nil {
+		c = &l.cfg
+	}
+	if c.Loss > 0 && w.rng.Bernoulli(c.Loss) {
+		w.drop(from, to, m, "random loss")
+		w.stats.LostRandom++
+		return
+	}
+	delay := c.Latency
+	if c.Jitter > 0 {
+		delay += time.Duration(w.rng.Uniform(0, float64(c.Jitter)))
+	}
+	if w.log != nil {
+		w.log.Addf(w.Sched.Now(), from, "wire-send", "", uint64(m.ID()), "to "+to)
+	}
+	w.Sched.After(delay, "deliver "+from+"->"+to, func() {
+		// Re-check reachability at arrival: a cable pulled mid-flight
+		// loses the packet.
+		if w.nodes[from].unplugged || w.nodes[to].unplugged || w.Partitioned(from, to) {
+			w.drop(from, to, m, "lost in flight")
+			w.stats.LostDown++
+			return
+		}
+		w.stats.Delivered++
+		if w.log != nil {
+			w.log.Addf(w.Sched.Now(), to, "wire-recv", "", uint64(m.ID()), "from "+from)
+		}
+		if dst.stk != nil {
+			// Delivery errors are a node-local matter; the network does
+			// not propagate them back in time to the sender.
+			_ = dst.stk.Deliver(m)
+		}
+	})
+}
+
+// linkFor returns the explicit link or the default config for a pair.
+func (w *World) linkFor(a, b string) (*link, *LinkConfig) {
+	if l, ok := w.links[pairKey(a, b)]; ok {
+		return l, nil
+	}
+	if w.def != nil {
+		return nil, w.def
+	}
+	return nil, nil
+}
+
+// SetDefaultLink makes unconnected node pairs reachable with cfg. Passing
+// nil removes the default (unconnected pairs drop traffic).
+func (w *World) SetDefaultLink(cfg *LinkConfig) { w.def = cfg }
+
+func (w *World) drop(from, to string, m *message.Message, why string) {
+	if w.log != nil {
+		w.log.Addf(w.Sched.Now(), from, "wire-drop", "", uint64(m.ID()),
+			fmt.Sprintf("to %s: %s", to, why))
+	}
+}
+
+// Run executes the world until no events remain.
+func (w *World) Run() int { return w.Sched.Run() }
+
+// RunFor executes the world for d of virtual time.
+func (w *World) RunFor(d time.Duration) int { return w.Sched.RunFor(d) }
+
+// Now returns the current virtual time.
+func (w *World) Now() simtime.Time { return w.Sched.Now() }

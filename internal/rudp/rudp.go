@@ -1,0 +1,295 @@
+// Package rudp is the reliable communication layer the paper's GMP
+// implementation ran on: UDP-style datagrams with "retransmission timers
+// and sequence numbers". Reliable frames are retransmitted until
+// acknowledged (bounded retries), delivered exactly once per peer; raw
+// frames are fire-and-forget (GMP uses them for heartbeats).
+//
+// It implements stack.Layer so a PFI layer can be spliced below it — the
+// paper "inserted the PFI tool into the communication interface code where
+// udp send and receive calls were made".
+package rudp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"pfi/internal/message"
+	"pfi/internal/netsim"
+	"pfi/internal/simtime"
+	"pfi/internal/stack"
+)
+
+// Frame kinds on the wire.
+const (
+	KindData = 1 // reliable datagram, acked and retransmitted
+	KindAck  = 2 // acknowledgment of a reliable datagram
+	KindRaw  = 3 // unreliable datagram (heartbeats)
+)
+
+// HeaderLen is the frame header size: kind(1) + seq(4).
+const HeaderLen = 5
+
+// Defaults for the retransmission machinery.
+const (
+	DefaultRTO        = 500 * time.Millisecond
+	DefaultMaxRetries = 5
+)
+
+// Frame is a decoded rudp frame.
+type Frame struct {
+	Kind    uint8
+	Seq     uint32
+	Payload []byte
+}
+
+// KindName renders the frame kind.
+func (f *Frame) KindName() string {
+	switch f.Kind {
+	case KindData:
+		return "DATA"
+	case KindAck:
+		return "ACK"
+	case KindRaw:
+		return "RAW"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Encode serializes the frame.
+func (f *Frame) Encode() *message.Message {
+	w := message.NewWriter(HeaderLen + len(f.Payload))
+	w.U8(f.Kind).U32(f.Seq).Bytes(f.Payload)
+	return message.New(w.Done())
+}
+
+// Decode parses a frame without consuming the message.
+func Decode(m *message.Message) (*Frame, error) {
+	raw := m.Bytes()
+	if len(raw) < HeaderLen {
+		return nil, fmt.Errorf("rudp: frame too short: %d bytes", len(raw))
+	}
+	r := message.NewReader(raw)
+	f := &Frame{Kind: r.U8(), Seq: r.U32()}
+	if n := r.Remaining(); n > 0 {
+		f.Payload = append([]byte(nil), r.Take(n)...)
+	}
+	return f, nil
+}
+
+// Fields exposes the header to PFI scripts.
+func (f *Frame) Fields() map[string]string {
+	return map[string]string{
+		"kind": f.KindName(),
+		"seq":  strconv.FormatUint(uint64(f.Seq), 10),
+		"len":  strconv.Itoa(len(f.Payload)),
+	}
+}
+
+// DeliverFunc receives an inbound datagram's payload.
+type DeliverFunc func(src string, payload []byte)
+
+// pendingSend is one unacknowledged reliable frame.
+type pendingSend struct {
+	frame   *Frame
+	dst     string
+	retries int
+	timer   *simtime.Event
+}
+
+// peerState tracks per-peer sequence bookkeeping.
+type peerState struct {
+	nextSeq   uint32
+	delivered map[uint32]bool // reliable seqs already handed up (dedup)
+}
+
+// Layer is the reliable-UDP layer.
+type Layer struct {
+	base       stack.Base
+	env        *stack.Env
+	rto        time.Duration
+	maxRetries int
+	peers      map[string]*peerState
+	pending    map[string]map[uint32]*pendingSend // dst -> seq -> send
+	deliver    DeliverFunc
+	onGiveUp   func(dst string, payload []byte)
+	stats      Stats
+}
+
+var _ stack.Layer = (*Layer)(nil)
+
+// Stats counts layer activity.
+type Stats struct {
+	Sent        int
+	Retransmits int
+	GiveUps     int
+	Delivered   int
+	Duplicates  int
+}
+
+// Option configures the layer.
+type Option func(*Layer)
+
+// WithRTO overrides the retransmission timeout.
+func WithRTO(d time.Duration) Option {
+	return func(l *Layer) { l.rto = d }
+}
+
+// WithMaxRetries overrides the retry bound.
+func WithMaxRetries(n int) Option {
+	return func(l *Layer) { l.maxRetries = n }
+}
+
+// NewLayer builds a reliable-UDP layer.
+func NewLayer(env *stack.Env, opts ...Option) *Layer {
+	l := &Layer{
+		base:       stack.NewBase("rudp"),
+		env:        env,
+		rto:        DefaultRTO,
+		maxRetries: DefaultMaxRetries,
+		peers:      make(map[string]*peerState),
+		pending:    make(map[string]map[uint32]*pendingSend),
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Name implements stack.Layer.
+func (l *Layer) Name() string { return "rudp" }
+
+// Wire implements stack.Layer.
+func (l *Layer) Wire(down, up stack.Sink) { l.base.Wire(down, up) }
+
+// OnDeliver registers the application's receive callback.
+func (l *Layer) OnDeliver(fn DeliverFunc) { l.deliver = fn }
+
+// OnGiveUp registers a callback for reliable sends that exhausted retries.
+func (l *Layer) OnGiveUp(fn func(dst string, payload []byte)) { l.onGiveUp = fn }
+
+// Stats returns a copy of the counters.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// Pending reports unacknowledged reliable frames to dst.
+func (l *Layer) Pending(dst string) int { return len(l.pending[dst]) }
+
+func (l *Layer) peer(name string) *peerState {
+	p, ok := l.peers[name]
+	if !ok {
+		p = &peerState{delivered: make(map[uint32]bool)}
+		l.peers[name] = p
+	}
+	return p
+}
+
+// Send transmits payload to dst reliably: it is retransmitted on a timer
+// until acknowledged or the retry bound is hit.
+func (l *Layer) Send(dst string, payload []byte) error {
+	p := l.peer(dst)
+	p.nextSeq++
+	f := &Frame{Kind: KindData, Seq: p.nextSeq, Payload: payload}
+	ps := &pendingSend{frame: f, dst: dst}
+	if l.pending[dst] == nil {
+		l.pending[dst] = make(map[uint32]*pendingSend)
+	}
+	l.pending[dst][f.Seq] = ps
+	l.stats.Sent++
+	l.armRetransmit(ps)
+	return l.ship(dst, f)
+}
+
+// SendRaw transmits payload unreliably (no ack, no retransmission).
+func (l *Layer) SendRaw(dst string, payload []byte) error {
+	l.stats.Sent++
+	return l.ship(dst, &Frame{Kind: KindRaw, Payload: payload})
+}
+
+func (l *Layer) ship(dst string, f *Frame) error {
+	m := f.Encode()
+	m.SetAttr(netsim.AttrDst, dst)
+	return l.base.Down(m)
+}
+
+func (l *Layer) armRetransmit(ps *pendingSend) {
+	ps.timer = l.env.Sched.After(l.rto, "rudp-rtx "+l.env.Node, func() {
+		l.onRetransmit(ps)
+	})
+}
+
+func (l *Layer) onRetransmit(ps *pendingSend) {
+	cur, ok := l.pending[ps.dst][ps.frame.Seq]
+	if !ok || cur != ps {
+		return // acked in the meantime
+	}
+	if ps.retries >= l.maxRetries {
+		delete(l.pending[ps.dst], ps.frame.Seq)
+		l.stats.GiveUps++
+		if l.onGiveUp != nil {
+			l.onGiveUp(ps.dst, ps.frame.Payload)
+		}
+		return
+	}
+	ps.retries++
+	l.stats.Retransmits++
+	// Retransmission failures surface the same way as first-send failures:
+	// the datagram is simply lost and retried again.
+	_ = l.ship(ps.dst, ps.frame)
+	l.armRetransmit(ps)
+}
+
+// HandleDown implements stack.Layer. Raw pushes from above are sent as
+// unreliable frames, using the message's destination attribute.
+func (l *Layer) HandleDown(m *message.Message) error {
+	dstAttr, ok := m.Attr(netsim.AttrDst)
+	if !ok {
+		return fmt.Errorf("rudp: message without destination")
+	}
+	dst, _ := dstAttr.(string)
+	return l.SendRaw(dst, m.CopyBytes())
+}
+
+// HandleUp implements stack.Layer: frame arrival from the network.
+func (l *Layer) HandleUp(m *message.Message) error {
+	f, err := Decode(m)
+	if err != nil {
+		return nil // garbage is dropped
+	}
+	srcAttr, _ := m.Attr(netsim.AttrSrc)
+	src, _ := srcAttr.(string)
+	if src == "" {
+		return fmt.Errorf("rudp: frame without source")
+	}
+	switch f.Kind {
+	case KindRaw:
+		l.stats.Delivered++
+		if l.deliver != nil {
+			l.deliver(src, f.Payload)
+		}
+	case KindData:
+		// Ack first (even duplicates: the ack may have been lost).
+		ack := &Frame{Kind: KindAck, Seq: f.Seq}
+		if err := l.ship(src, ack); err != nil {
+			return err
+		}
+		p := l.peer(src)
+		if p.delivered[f.Seq] {
+			l.stats.Duplicates++
+			return nil
+		}
+		p.delivered[f.Seq] = true
+		l.stats.Delivered++
+		if l.deliver != nil {
+			l.deliver(src, f.Payload)
+		}
+	case KindAck:
+		if ps, ok := l.pending[src][f.Seq]; ok {
+			delete(l.pending[src], f.Seq)
+			if ps.timer != nil {
+				l.env.Sched.Cancel(ps.timer)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package rudp_test
+
+import (
+	"testing"
+	"time"
+
+	"pfi/internal/core"
+	"pfi/internal/message"
+	"pfi/internal/netsim"
+	"pfi/internal/rudp"
+	"pfi/internal/stack"
+)
+
+type node struct {
+	n    *netsim.Node
+	l    *rudp.Layer
+	pfi  *core.Layer
+	got  []string
+	from []string
+}
+
+func newNet(t *testing.T, names ...string) (*netsim.World, map[string]*node) {
+	t.Helper()
+	w := netsim.NewWorld(3)
+	nodes := make(map[string]*node)
+	for _, name := range names {
+		nn := w.MustAddNode(name)
+		l := rudp.NewLayer(nn.Env())
+		pl := core.NewLayer(nn.Env())
+		s := stack.New(nn.Env(), l, pl)
+		nn.SetStack(s)
+		nd := &node{n: nn, l: l, pfi: pl}
+		l.OnDeliver(func(src string, payload []byte) {
+			nd.got = append(nd.got, string(payload))
+			nd.from = append(nd.from, src)
+		})
+		nodes[name] = nd
+	}
+	if err := w.ConnectAll(netsim.LinkConfig{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	return w, nodes
+}
+
+func TestReliableDelivery(t *testing.T) {
+	w, ns := newNet(t, "a", "b")
+	if err := ns["a"].l.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if len(ns["b"].got) != 1 || ns["b"].got[0] != "hello" || ns["b"].from[0] != "a" {
+		t.Fatalf("b got %v from %v", ns["b"].got, ns["b"].from)
+	}
+	if ns["a"].l.Pending("b") != 0 {
+		t.Fatal("frame still pending after ack")
+	}
+}
+
+func TestRawDelivery(t *testing.T) {
+	w, ns := newNet(t, "a", "b")
+	if err := ns["a"].l.SendRaw("b", []byte("hb")); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if len(ns["b"].got) != 1 || ns["b"].got[0] != "hb" {
+		t.Fatalf("b got %v", ns["b"].got)
+	}
+}
+
+func TestRetransmissionOnLoss(t *testing.T) {
+	w, ns := newNet(t, "a", "b")
+	// Drop the first two DATA frames at a's wire.
+	if err := ns["a"].pfi.SetSendScript(`
+		if {![info exists n]} { set n 0 }
+		incr n
+		if {$n <= 2} { xDrop cur_msg }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns["a"].l.Send("b", []byte("persistent")); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(10 * time.Second)
+	if len(ns["b"].got) != 1 || ns["b"].got[0] != "persistent" {
+		t.Fatalf("b got %v", ns["b"].got)
+	}
+	if ns["a"].l.Stats().Retransmits < 2 {
+		t.Fatalf("stats %+v", ns["a"].l.Stats())
+	}
+}
+
+func TestGiveUpAfterMaxRetries(t *testing.T) {
+	w, ns := newNet(t, "a", "b")
+	if err := ns["b"].pfi.SetReceiveScript(`xDrop cur_msg`); err != nil {
+		t.Fatal(err)
+	}
+	var gaveUp []string
+	ns["a"].l.OnGiveUp(func(dst string, payload []byte) {
+		gaveUp = append(gaveUp, dst+":"+string(payload))
+	})
+	if err := ns["a"].l.Send("b", []byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(time.Minute)
+	if len(ns["b"].got) != 0 {
+		t.Fatal("blackholed frame delivered")
+	}
+	if len(gaveUp) != 1 || gaveUp[0] != "b:void" {
+		t.Fatalf("give-ups %v", gaveUp)
+	}
+	st := ns["a"].l.Stats()
+	if st.Retransmits != rudp.DefaultMaxRetries || st.GiveUps != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if ns["a"].l.Pending("b") != 0 {
+		t.Fatal("pending entry leaked after give-up")
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	w, ns := newNet(t, "a", "b")
+	// Drop ACKs coming back to a, forcing retransmissions of a frame b has
+	// already delivered; b must not deliver twice.
+	if err := ns["a"].pfi.SetReceiveScript(`xDrop cur_msg`); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns["a"].l.Send("b", []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(time.Minute)
+	if len(ns["b"].got) != 1 {
+		t.Fatalf("delivered %d times, want exactly once", len(ns["b"].got))
+	}
+	if ns["b"].l.Stats().Duplicates < 1 {
+		t.Fatalf("stats %+v", ns["b"].l.Stats())
+	}
+}
+
+func TestInterleavedPeers(t *testing.T) {
+	w, ns := newNet(t, "a", "b", "c")
+	for i := 0; i < 5; i++ {
+		if err := ns["a"].l.Send("b", []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ns["c"].l.Send("b", []byte{byte('5' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Run()
+	if len(ns["b"].got) != 10 {
+		t.Fatalf("b got %d messages, want 10", len(ns["b"].got))
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &rudp.Frame{Kind: rudp.KindData, Seq: 77, Payload: []byte("x")}
+	got, err := rudp.Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != f.Kind || got.Seq != f.Seq || string(got.Payload) != "x" {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := rudp.Decode(message.New([]byte{1})); err == nil {
+		t.Fatal("short frame decoded")
+	}
+	if (&rudp.Frame{Kind: 99}).KindName() != "UNKNOWN" {
+		t.Fatal("unknown kind name")
+	}
+	fields := f.Fields()
+	if fields["kind"] != "DATA" || fields["seq"] != "77" || fields["len"] != "1" {
+		t.Fatalf("fields %v", fields)
+	}
+}
+
+func TestHandleDownSendsRaw(t *testing.T) {
+	w, ns := newNet(t, "a", "b")
+	m := message.NewString("pushed")
+	m.SetAttr(netsim.AttrDst, "b")
+	if err := ns["a"].n.Stack().Send(m); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if len(ns["b"].got) != 1 || ns["b"].got[0] != "pushed" {
+		t.Fatalf("b got %v", ns["b"].got)
+	}
+}

@@ -1,0 +1,1024 @@
+package script
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// value is an expr operand: an int64, float64, or string.
+type value struct {
+	kind valueKind
+	i    int64
+	f    float64
+	s    string
+}
+
+type valueKind int
+
+const (
+	intVal valueKind = iota + 1
+	floatVal
+	strVal
+)
+
+func intv(i int64) value     { return value{kind: intVal, i: i} }
+func floatv(f float64) value { return value{kind: floatVal, f: f} }
+func strv(s string) value    { return value{kind: strVal, s: s} }
+func boolv(b bool) value {
+	if b {
+		return intv(1)
+	}
+	return intv(0)
+}
+
+// String renders the value in Tcl's canonical form.
+func (v value) String() string {
+	switch v.kind {
+	case intVal:
+		return strconv.FormatInt(v.i, 10)
+	case floatVal:
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eEnI") { // NaN/Inf contain n/I
+			s += ".0"
+		}
+		return s
+	default:
+		return v.s
+	}
+}
+
+func (v value) isNumeric() bool { return v.kind == intVal || v.kind == floatVal }
+
+func (v value) asFloat() float64 {
+	if v.kind == intVal {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+func (v value) truth() (bool, error) {
+	switch v.kind {
+	case intVal:
+		return v.i != 0, nil
+	case floatVal:
+		return v.f != 0, nil
+	default:
+		switch strings.ToLower(v.s) {
+		case "true", "yes", "on":
+			return true, nil
+		case "false", "no", "off":
+			return false, nil
+		}
+		if n, ok := parseNumber(v.s); ok {
+			return n.truth()
+		}
+		return false, fmt.Errorf("expected boolean value but got %q", v.s)
+	}
+}
+
+// parseNumber interprets s as an integer (decimal or 0x hex) or float.
+func parseNumber(s string) (value, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return value{}, false
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return intv(i), true
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return floatv(f), true
+	}
+	return value{}, false
+}
+
+// coerce turns a raw operand string into a typed value, preferring numbers.
+func coerce(s string) value {
+	if n, ok := parseNumber(s); ok {
+		return n
+	}
+	return strv(s)
+}
+
+// EvalExpr evaluates a Tcl expression, performing $variable and [command]
+// substitution against the interpreter, and returns the canonical result.
+func (in *Interp) EvalExpr(text string) (string, error) {
+	v, err := in.exprValue(text)
+	if err != nil {
+		return "", err
+	}
+	return v.String(), nil
+}
+
+// EvalExprBool evaluates a condition expression to a boolean.
+func (in *Interp) EvalExprBool(text string) (bool, error) {
+	v, err := in.exprValue(text)
+	if err != nil {
+		return false, err
+	}
+	return v.truth()
+}
+
+func (in *Interp) exprValue(text string) (value, error) {
+	p := &exprParser{in: in, src: text}
+	v, err := p.parseTernary()
+	if err != nil {
+		return value{}, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return value{}, fmt.Errorf("expr: syntax error near %q", p.src[p.pos:])
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	in  *Interp
+	src string
+	pos int
+	// skip parses without evaluating: the untaken side of &&, ||, and ?: is
+	// syntax-checked but variables/commands are not touched and arithmetic
+	// is not performed (Tcl's lazy evaluation).
+	skip bool
+}
+
+// evalArith applies op respecting skip mode.
+func (p *exprParser) evalArith(op string, a, b value) (value, error) {
+	if p.skip {
+		return intv(0), nil
+	}
+	return arith(op, a, b)
+}
+
+func (p *exprParser) evalIntBinop(op string, a, b value) (value, error) {
+	if p.skip {
+		return intv(0), nil
+	}
+	return intBinop(op, a, b)
+}
+
+func (p *exprParser) evalTruth(v value) (bool, error) {
+	if p.skip {
+		return false, nil
+	}
+	return v.truth()
+}
+
+func (p *exprParser) evalCompare(a, b value) int {
+	if p.skip {
+		return 0
+	}
+	return compare(a, b)
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *exprParser) peekOp(ops ...string) string {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	for _, op := range ops {
+		if strings.HasPrefix(rest, op) {
+			// Word operators (eq, ne) must not glue to identifiers.
+			if isAlphaOp(op) {
+				if len(rest) > len(op) && isVarNameChar(rest[len(op)]) {
+					continue
+				}
+			}
+			return op
+		}
+	}
+	return ""
+}
+
+func isAlphaOp(op string) bool {
+	c := op[0]
+	return c >= 'a' && c <= 'z'
+}
+
+func (p *exprParser) takeOp(op string) { p.pos += len(op) }
+
+// Grammar, lowest to highest precedence.
+
+func (p *exprParser) parseTernary() (value, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return value{}, err
+	}
+	if op := p.peekOp("?"); op == "" {
+		return cond, nil
+	}
+	p.takeOp("?")
+	b, err := p.evalTruth(cond)
+	if err != nil {
+		return value{}, err
+	}
+	savedSkip := p.skip
+	p.skip = savedSkip || !b
+	thenV, err := p.parseTernary()
+	p.skip = savedSkip
+	if err != nil {
+		return value{}, err
+	}
+	if op := p.peekOp(":"); op == "" {
+		return value{}, fmt.Errorf("expr: missing ':' in ternary")
+	}
+	p.takeOp(":")
+	p.skip = savedSkip || b
+	elseV, err := p.parseTernary()
+	p.skip = savedSkip
+	if err != nil {
+		return value{}, err
+	}
+	if b {
+		return thenV, nil
+	}
+	return elseV, nil
+}
+
+func (p *exprParser) parseOr() (value, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return value{}, err
+	}
+	for p.peekOp("||") != "" {
+		p.takeOp("||")
+		lb, err := p.evalTruth(left)
+		if err != nil {
+			return value{}, err
+		}
+		savedSkip := p.skip
+		p.skip = savedSkip || lb // lazy: right side unevaluated when left is true
+		right, err := p.parseAnd()
+		if err != nil {
+			p.skip = savedSkip
+			return value{}, err
+		}
+		rb, err := p.evalTruth(right)
+		p.skip = savedSkip
+		if err != nil {
+			return value{}, err
+		}
+		left = boolv(lb || rb)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseAnd() (value, error) {
+	left, err := p.parseBitOr()
+	if err != nil {
+		return value{}, err
+	}
+	for p.peekOp("&&") != "" {
+		p.takeOp("&&")
+		lb, err := p.evalTruth(left)
+		if err != nil {
+			return value{}, err
+		}
+		savedSkip := p.skip
+		p.skip = savedSkip || !lb // lazy: right side unevaluated when left is false
+		right, err := p.parseBitOr()
+		if err != nil {
+			p.skip = savedSkip
+			return value{}, err
+		}
+		rb, err := p.evalTruth(right)
+		p.skip = savedSkip
+		if err != nil {
+			return value{}, err
+		}
+		left = boolv(lb && rb)
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseBitOr() (value, error) {
+	left, err := p.parseBitXor()
+	if err != nil {
+		return value{}, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '|' &&
+			(p.pos+1 >= len(p.src) || p.src[p.pos+1] != '|') {
+			p.pos++
+			right, err := p.parseBitXor()
+			if err != nil {
+				return value{}, err
+			}
+			left, err = p.evalIntBinop("|", left, right)
+			if err != nil {
+				return value{}, err
+			}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *exprParser) parseBitXor() (value, error) {
+	left, err := p.parseBitAnd()
+	if err != nil {
+		return value{}, err
+	}
+	for p.peekOp("^") != "" {
+		p.takeOp("^")
+		right, err := p.parseBitAnd()
+		if err != nil {
+			return value{}, err
+		}
+		left, err = p.evalIntBinop("^", left, right)
+		if err != nil {
+			return value{}, err
+		}
+	}
+	return left, nil
+}
+
+func (p *exprParser) parseBitAnd() (value, error) {
+	left, err := p.parseEquality()
+	if err != nil {
+		return value{}, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '&' &&
+			(p.pos+1 >= len(p.src) || p.src[p.pos+1] != '&') {
+			p.pos++
+			right, err := p.parseEquality()
+			if err != nil {
+				return value{}, err
+			}
+			left, err = p.evalIntBinop("&", left, right)
+			if err != nil {
+				return value{}, err
+			}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *exprParser) parseEquality() (value, error) {
+	left, err := p.parseRelational()
+	if err != nil {
+		return value{}, err
+	}
+	for {
+		op := p.peekOp("==", "!=", "eq", "ne")
+		if op == "" {
+			return left, nil
+		}
+		p.takeOp(op)
+		right, err := p.parseRelational()
+		if err != nil {
+			return value{}, err
+		}
+		switch op {
+		case "eq":
+			left = boolv(left.String() == right.String())
+		case "ne":
+			left = boolv(left.String() != right.String())
+		case "==":
+			left = boolv(p.evalCompare(left, right) == 0)
+		case "!=":
+			left = boolv(p.evalCompare(left, right) != 0)
+		}
+	}
+}
+
+func (p *exprParser) parseRelational() (value, error) {
+	left, err := p.parseShift()
+	if err != nil {
+		return value{}, err
+	}
+	for {
+		op := p.peekOp("<=", ">=", "<", ">")
+		if op == "" {
+			return left, nil
+		}
+		// Avoid consuming "<<" or ">>" as "<" "<".
+		if (op == "<" || op == ">") && p.peekOp("<<", ">>") != "" {
+			return left, nil
+		}
+		p.takeOp(op)
+		right, err := p.parseShift()
+		if err != nil {
+			return value{}, err
+		}
+		c := p.evalCompare(left, right)
+		switch op {
+		case "<":
+			left = boolv(c < 0)
+		case ">":
+			left = boolv(c > 0)
+		case "<=":
+			left = boolv(c <= 0)
+		case ">=":
+			left = boolv(c >= 0)
+		}
+	}
+}
+
+func (p *exprParser) parseShift() (value, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return value{}, err
+	}
+	for {
+		op := p.peekOp("<<", ">>")
+		if op == "" {
+			return left, nil
+		}
+		p.takeOp(op)
+		right, err := p.parseAdditive()
+		if err != nil {
+			return value{}, err
+		}
+		left, err = p.evalIntBinop(op, left, right)
+		if err != nil {
+			return value{}, err
+		}
+	}
+}
+
+func (p *exprParser) parseAdditive() (value, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return value{}, err
+	}
+	for {
+		op := p.peekOp("+", "-")
+		if op == "" {
+			return left, nil
+		}
+		p.takeOp(op)
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return value{}, err
+		}
+		left, err = p.evalArith(op, left, right)
+		if err != nil {
+			return value{}, err
+		}
+	}
+}
+
+func (p *exprParser) parseMultiplicative() (value, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return value{}, err
+	}
+	for {
+		op := p.peekOp("*", "/", "%")
+		if op == "" {
+			return left, nil
+		}
+		p.takeOp(op)
+		right, err := p.parseUnary()
+		if err != nil {
+			return value{}, err
+		}
+		left, err = p.evalArith(op, left, right)
+		if err != nil {
+			return value{}, err
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (value, error) {
+	op := p.peekOp("-", "+", "!", "~")
+	if op == "" {
+		return p.parsePrimary()
+	}
+	p.takeOp(op)
+	v, err := p.parseUnary()
+	if err != nil {
+		return value{}, err
+	}
+	switch op {
+	case "+":
+		if !v.isNumeric() {
+			if n, ok := parseNumber(v.s); ok {
+				return n, nil
+			}
+			if p.skip {
+				return intv(0), nil
+			}
+			return value{}, fmt.Errorf("expr: unary + on non-number %q", v.s)
+		}
+		return v, nil
+	case "-":
+		switch v.kind {
+		case intVal:
+			return intv(-v.i), nil
+		case floatVal:
+			return floatv(-v.f), nil
+		default:
+			if n, ok := parseNumber(v.s); ok {
+				if n.kind == intVal {
+					return intv(-n.i), nil
+				}
+				return floatv(-n.f), nil
+			}
+			if p.skip {
+				return intv(0), nil
+			}
+			return value{}, fmt.Errorf("expr: unary - on non-number %q", v.s)
+		}
+	case "!":
+		b, err := p.evalTruth(v)
+		if err != nil {
+			return value{}, err
+		}
+		return boolv(!b), nil
+	default: // "~"
+		if v.kind != intVal {
+			if p.skip {
+				return intv(0), nil
+			}
+			return value{}, fmt.Errorf("expr: ~ requires an integer")
+		}
+		return intv(^v.i), nil
+	}
+}
+
+func (p *exprParser) parsePrimary() (value, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return value{}, fmt.Errorf("expr: unexpected end of expression")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseTernary()
+		if err != nil {
+			return value{}, err
+		}
+		if p.peekOp(")") == "" {
+			return value{}, fmt.Errorf("expr: missing close parenthesis")
+		}
+		p.takeOp(")")
+		return v, nil
+	case c == '$':
+		return p.parseVarOperand()
+	case c == '[':
+		return p.parseCmdOperand()
+	case c == '"':
+		return p.parseStringOperand()
+	case c == '{':
+		return p.parseBracedOperand()
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumberOperand()
+	case isVarNameChar(c):
+		return p.parseFuncOrWord()
+	default:
+		return value{}, fmt.Errorf("expr: unexpected character %q", c)
+	}
+}
+
+func (p *exprParser) parseVarOperand() (value, error) {
+	sub := &parser{src: p.src, pos: p.pos, line: 1}
+	seg, ok, err := sub.parseVarRef()
+	if err != nil {
+		return value{}, err
+	}
+	if !ok {
+		return value{}, fmt.Errorf("expr: lone '$'")
+	}
+	p.pos = sub.pos
+	if p.skip {
+		return intv(0), nil
+	}
+	v, found := p.in.Var(seg.text)
+	if !found {
+		return value{}, fmt.Errorf("can't read %q: no such variable", seg.text)
+	}
+	return coerce(v), nil
+}
+
+func (p *exprParser) parseCmdOperand() (value, error) {
+	sub := &parser{src: p.src, pos: p.pos + 1, line: 1}
+	cmds, err := sub.parseCommands(bracketEnd)
+	if err != nil {
+		return value{}, err
+	}
+	if p.skip {
+		p.pos = sub.pos
+		return intv(0), nil
+	}
+	res, err := p.in.run(&Script{src: p.src[p.pos:sub.pos], cmds: cmds})
+	if err != nil {
+		return value{}, err
+	}
+	p.pos = sub.pos
+	return coerce(res), nil
+}
+
+func (p *exprParser) parseStringOperand() (value, error) {
+	sub := &parser{src: p.src, pos: p.pos, line: 1}
+	segs, err := sub.parseQuoted()
+	if err != nil {
+		return value{}, err
+	}
+	p.pos = sub.pos
+	if p.skip {
+		return strv(""), nil
+	}
+	w := word{segs: segs}
+	s, err := p.in.expandWord(&w)
+	if err != nil {
+		return value{}, err
+	}
+	return strv(s), nil
+}
+
+func (p *exprParser) parseBracedOperand() (value, error) {
+	sub := &parser{src: p.src, pos: p.pos, line: 1}
+	text, err := sub.parseBraced()
+	if err != nil {
+		return value{}, err
+	}
+	p.pos = sub.pos
+	return strv(text), nil
+}
+
+func (p *exprParser) parseNumberOperand() (value, error) {
+	start := p.pos
+	seenDot, seenExp := false, false
+	if strings.HasPrefix(p.src[p.pos:], "0x") || strings.HasPrefix(p.src[p.pos:], "0X") {
+		p.pos += 2
+		for p.pos < len(p.src) && isHexDigit(p.src[p.pos]) {
+			p.pos++
+		}
+		i, err := strconv.ParseInt(p.src[start:p.pos], 0, 64)
+		if err != nil {
+			return value{}, fmt.Errorf("expr: bad hex literal %q", p.src[start:p.pos])
+		}
+		return intv(i), nil
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			p.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			p.pos++
+		case (c == 'e' || c == 'E') && !seenExp && p.pos > start:
+			seenExp = true
+			p.pos++
+			if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := p.src[start:p.pos]
+	if !seenDot && !seenExp {
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return value{}, fmt.Errorf("expr: bad integer literal %q", text)
+		}
+		return intv(i), nil
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return value{}, fmt.Errorf("expr: bad float literal %q", text)
+	}
+	return floatv(f), nil
+}
+
+// parseFuncOrWord handles math functions and the bareword booleans.
+func (p *exprParser) parseFuncOrWord() (value, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isVarNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		return p.parseFuncCall(name)
+	}
+	switch strings.ToLower(name) {
+	case "true", "yes", "on":
+		return boolv(true), nil
+	case "false", "no", "off":
+		return boolv(false), nil
+	}
+	return value{}, fmt.Errorf("expr: unknown operand %q", name)
+}
+
+func (p *exprParser) parseFuncCall(name string) (value, error) {
+	p.pos++ // consume '('
+	var args []value
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ')' {
+		p.pos++
+	} else {
+		for {
+			v, err := p.parseTernary()
+			if err != nil {
+				return value{}, err
+			}
+			args = append(args, v)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return value{}, fmt.Errorf("expr: missing ')' in %s()", name)
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return value{}, fmt.Errorf("expr: bad character %q in %s()", p.src[p.pos], name)
+		}
+	}
+	if p.skip {
+		if _, known := knownFuncs[name]; !known {
+			return value{}, fmt.Errorf("expr: unknown function %q", name)
+		}
+		return intv(0), nil
+	}
+	return applyFunc(name, args)
+}
+
+// knownFuncs lists the math functions, for syntax checking in skip mode.
+var knownFuncs = map[string]struct{}{
+	"abs": {}, "int": {}, "double": {}, "round": {}, "floor": {}, "ceil": {},
+	"sqrt": {}, "exp": {}, "log": {}, "log10": {}, "sin": {}, "cos": {},
+	"tan": {}, "pow": {}, "fmod": {}, "atan2": {}, "hypot": {}, "min": {}, "max": {},
+}
+
+func applyFunc(name string, args []value) (value, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("expr: %s() takes %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	num := func(v value) (float64, error) {
+		if !v.isNumeric() {
+			n, ok := parseNumber(v.s)
+			if !ok {
+				return 0, fmt.Errorf("expr: %s() requires numeric argument, got %q", name, v.s)
+			}
+			v = n
+		}
+		return v.asFloat(), nil
+	}
+	switch name {
+	case "abs":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		if args[0].kind == intVal {
+			if args[0].i < 0 {
+				return intv(-args[0].i), nil
+			}
+			return args[0], nil
+		}
+		f, err := num(args[0])
+		if err != nil {
+			return value{}, err
+		}
+		return floatv(math.Abs(f)), nil
+	case "int":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		f, err := num(args[0])
+		if err != nil {
+			return value{}, err
+		}
+		return intv(int64(f)), nil
+	case "double":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		f, err := num(args[0])
+		if err != nil {
+			return value{}, err
+		}
+		return floatv(f), nil
+	case "round":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		f, err := num(args[0])
+		if err != nil {
+			return value{}, err
+		}
+		return intv(int64(math.Round(f))), nil
+	case "floor", "ceil", "sqrt", "exp", "log", "log10", "sin", "cos", "tan":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		f, err := num(args[0])
+		if err != nil {
+			return value{}, err
+		}
+		fns := map[string]func(float64) float64{
+			"floor": math.Floor, "ceil": math.Ceil, "sqrt": math.Sqrt,
+			"exp": math.Exp, "log": math.Log, "log10": math.Log10,
+			"sin": math.Sin, "cos": math.Cos, "tan": math.Tan,
+		}
+		return floatv(fns[name](f)), nil
+	case "pow", "fmod", "atan2", "hypot":
+		if err := need(2); err != nil {
+			return value{}, err
+		}
+		a, err := num(args[0])
+		if err != nil {
+			return value{}, err
+		}
+		b, err := num(args[1])
+		if err != nil {
+			return value{}, err
+		}
+		fns := map[string]func(float64, float64) float64{
+			"pow": math.Pow, "fmod": math.Mod, "atan2": math.Atan2, "hypot": math.Hypot,
+		}
+		return floatv(fns[name](a, b)), nil
+	case "min", "max":
+		if len(args) == 0 {
+			return value{}, fmt.Errorf("expr: %s() needs at least one argument", name)
+		}
+		best, err := num(args[0])
+		if err != nil {
+			return value{}, err
+		}
+		allInt := args[0].kind == intVal
+		for _, a := range args[1:] {
+			f, err := num(a)
+			if err != nil {
+				return value{}, err
+			}
+			if a.kind != intVal {
+				allInt = false
+			}
+			if name == "min" && f < best || name == "max" && f > best {
+				best = f
+			}
+		}
+		if allInt {
+			return intv(int64(best)), nil
+		}
+		return floatv(best), nil
+	default:
+		return value{}, fmt.Errorf("expr: unknown function %q", name)
+	}
+}
+
+// compare orders two values: numerically when both parse as numbers,
+// lexically otherwise. Returns -1, 0, or 1.
+func compare(a, b value) int {
+	an, aok := a, a.isNumeric()
+	if !aok {
+		an, aok = parseNumber(a.s)
+	}
+	bn, bok := b, b.isNumeric()
+	if !bok {
+		bn, bok = parseNumber(b.s)
+	}
+	if aok && bok {
+		if an.kind == intVal && bn.kind == intVal {
+			switch {
+			case an.i < bn.i:
+				return -1
+			case an.i > bn.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := an.asFloat(), bn.asFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// arith applies + - * / % with Tcl's int/float promotion rules.
+func arith(op string, a, b value) (value, error) {
+	an, aok := a, a.isNumeric()
+	if !aok {
+		an, aok = parseNumber(a.s)
+	}
+	bn, bok := b, b.isNumeric()
+	if !bok {
+		bn, bok = parseNumber(b.s)
+	}
+	if !aok || !bok {
+		bad := a
+		if aok {
+			bad = b
+		}
+		return value{}, fmt.Errorf("expr: can't use %q as operand of %q", bad.String(), op)
+	}
+	if an.kind == intVal && bn.kind == intVal {
+		switch op {
+		case "+":
+			return intv(an.i + bn.i), nil
+		case "-":
+			return intv(an.i - bn.i), nil
+		case "*":
+			return intv(an.i * bn.i), nil
+		case "/":
+			if bn.i == 0 {
+				return value{}, fmt.Errorf("expr: divide by zero")
+			}
+			// Tcl floors integer division toward negative infinity.
+			q := an.i / bn.i
+			if (an.i%bn.i != 0) && ((an.i < 0) != (bn.i < 0)) {
+				q--
+			}
+			return intv(q), nil
+		case "%":
+			if bn.i == 0 {
+				return value{}, fmt.Errorf("expr: divide by zero")
+			}
+			r := an.i % bn.i
+			if r != 0 && ((an.i < 0) != (bn.i < 0)) {
+				r += bn.i
+			}
+			return intv(r), nil
+		}
+	}
+	af, bf := an.asFloat(), bn.asFloat()
+	switch op {
+	case "+":
+		return floatv(af + bf), nil
+	case "-":
+		return floatv(af - bf), nil
+	case "*":
+		return floatv(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return value{}, fmt.Errorf("expr: divide by zero")
+		}
+		return floatv(af / bf), nil
+	case "%":
+		return value{}, fmt.Errorf("expr: %% requires integer operands")
+	}
+	return value{}, fmt.Errorf("expr: unknown operator %q", op)
+}
+
+// intBinop applies the bitwise/shift operators, which require integers.
+func intBinop(op string, a, b value) (value, error) {
+	an, aok := a, a.kind == intVal
+	if !aok {
+		if n, ok := parseNumber(a.String()); ok && n.kind == intVal {
+			an, aok = n, true
+		}
+	}
+	bn, bok := b, b.kind == intVal
+	if !bok {
+		if n, ok := parseNumber(b.String()); ok && n.kind == intVal {
+			bn, bok = n, true
+		}
+	}
+	if !aok || !bok {
+		return value{}, fmt.Errorf("expr: %q requires integer operands", op)
+	}
+	switch op {
+	case "&":
+		return intv(an.i & bn.i), nil
+	case "|":
+		return intv(an.i | bn.i), nil
+	case "^":
+		return intv(an.i ^ bn.i), nil
+	case "<<":
+		if bn.i < 0 || bn.i > 63 {
+			return value{}, fmt.Errorf("expr: shift count %d out of range", bn.i)
+		}
+		return intv(an.i << uint(bn.i)), nil
+	case ">>":
+		if bn.i < 0 || bn.i > 63 {
+			return value{}, fmt.Errorf("expr: shift count %d out of range", bn.i)
+		}
+		return intv(an.i >> uint(bn.i)), nil
+	}
+	return value{}, fmt.Errorf("expr: unknown operator %q", op)
+}

@@ -1,0 +1,121 @@
+package script
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics, whatever the input — it either returns an
+// AST or a ParseError. (Filter scripts come from test authors, but a
+// hostile or truncated script must never take the tool down.)
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eval of arbitrary input never panics either; the step limit
+// bounds runaway loops, and syntax/runtime errors return as errors.
+func TestPropertyEvalNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		in := New()
+		in.SetStepLimit(10_000)
+		_, _ = in.Eval(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EvalExpr of arbitrary input never panics.
+func TestPropertyExprNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		in := New()
+		_, _ = in.EvalExpr(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ListSplit of arbitrary input never panics.
+func TestPropertyListSplitNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ListSplit(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A handful of adversarial inputs that have broken Tcl-alike parsers.
+func TestAdversarialInputs(t *testing.T) {
+	inputs := []string{
+		"\x00",
+		"{",
+		"}",
+		"]",
+		"[",
+		`"`,
+		"$",
+		"${",
+		"$}",
+		"\\",
+		"[[[[[[[[",
+		"{{{{{{{{",
+		"a\\",
+		"set \\\n",
+		"expr {",
+		"expr }",
+		"expr 1+",
+		"expr (((((",
+		"expr 0x",
+		"expr 1e",
+		"expr $",
+		"expr [",
+		"proc p { {a} } {}",
+		"if",
+		"while",
+		"foreach x",
+		"switch",
+		"format %",
+		"string",
+		"\xff\xfe\xfd",
+		"set x \x7f\x80",
+	}
+	for _, src := range inputs {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			in := New()
+			in.SetStepLimit(10_000)
+			_, _ = in.Eval(src) // must not panic; errors are fine
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ListJoin renders elems as a canonical Tcl list: space-separated, with
+// elements quoted by braces when they contain metacharacters. It is the
+// inverse of ListSplit for all inputs (property-tested).
+func ListJoin(elems []string) string {
+	var b strings.Builder
+	for i, e := range elems {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(quoteElem(e))
+	}
+	return b.String()
+}
+
+func quoteElem(e string) string {
+	if e == "" {
+		return "{}"
+	}
+	if !needsQuoting(e) {
+		return e
+	}
+	if bracesBalanced(e) && !strings.HasSuffix(e, "\\") {
+		return "{" + e + "}"
+	}
+	// Fall back to backslash-quoting every metacharacter.
+	var b strings.Builder
+	for i := 0; i < len(e); i++ {
+		c := e[i]
+		switch c {
+		case ' ', '\t', '\r', ';', '$', '[', ']', '{', '}', '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func needsQuoting(e string) bool {
+	for i := 0; i < len(e); i++ {
+		switch e[i] {
+		case ' ', '\t', '\n', '\r', ';', '$', '[', ']', '{', '}', '"', '\\':
+			return true
+		}
+	}
+	return false
+}
+
+func bracesBalanced(e string) bool {
+	depth := 0
+	for i := 0; i < len(e); i++ {
+		switch e[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+// ListSplit parses a Tcl list into its elements.
+func ListSplit(list string) ([]string, error) {
+	elems := []string{}
+	i := 0
+	n := len(list)
+	for {
+		for i < n && isListSpace(list[i]) {
+			i++
+		}
+		if i >= n {
+			return elems, nil
+		}
+		switch list[i] {
+		case '{':
+			elem, next, err := parseBracedElem(list, i)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, elem)
+			i = next
+		case '"':
+			elem, next, err := parseQuotedElem(list, i)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, elem)
+			i = next
+		default:
+			elem, next := parseBareElem(list, i)
+			elems = append(elems, elem)
+			i = next
+		}
+	}
+}
+
+func isListSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func parseBracedElem(s string, i int) (string, int, error) {
+	depth := 1
+	i++ // consume '{'
+	var b strings.Builder
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '\\':
+			if i+1 < len(s) {
+				b.WriteByte(c)
+				b.WriteByte(s[i+1])
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		case '{':
+			depth++
+			b.WriteByte(c)
+			i++
+		case '}':
+			depth--
+			if depth == 0 {
+				i++
+				if i < len(s) && !isListSpace(s[i]) {
+					return "", 0, fmt.Errorf("list element in braces followed by %q instead of space", s[i])
+				}
+				return b.String(), i, nil
+			}
+			b.WriteByte(c)
+			i++
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unmatched open brace in list")
+}
+
+func parseQuotedElem(s string, i int) (string, int, error) {
+	i++ // consume '"'
+	var b strings.Builder
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '\\':
+			if i+1 < len(s) {
+				b.WriteString(backslashSubst(s[i+1]))
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		case '"':
+			i++
+			if i < len(s) && !isListSpace(s[i]) {
+				return "", 0, fmt.Errorf("list element in quotes followed by %q instead of space", s[i])
+			}
+			return b.String(), i, nil
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unmatched open quote in list")
+}
+
+func parseBareElem(s string, i int) (string, int) {
+	var b strings.Builder
+	for i < len(s) && !isListSpace(s[i]) {
+		if s[i] == '\\' && i+1 < len(s) {
+			b.WriteString(backslashSubst(s[i+1]))
+			i += 2
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String(), i
+}
+
+func backslashSubst(c byte) string {
+	switch c {
+	case 'n':
+		return "\n"
+	case 't':
+		return "\t"
+	case 'r':
+		return "\r"
+	default:
+		return string(c)
+	}
+}

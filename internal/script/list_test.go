@@ -1,0 +1,300 @@
+package script
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestListJoinSplitBasics(t *testing.T) {
+	tests := []struct {
+		elems []string
+		list  string
+	}{
+		{[]string{}, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "b", "c"}, "a b c"},
+		{[]string{"a b", "c"}, "{a b} c"},
+		{[]string{""}, "{}"},
+		{[]string{"", ""}, "{} {}"},
+		{[]string{"a", "", "b"}, "a {} b"},
+		{[]string{"has{brace"}, `has\{brace`},
+		{[]string{"$var"}, "{$var}"},
+		{[]string{"[cmd]"}, "{[cmd]}"},
+		{[]string{"tab\there"}, "{tab\there}"},
+	}
+	for _, tt := range tests {
+		if got := ListJoin(tt.elems); got != tt.list {
+			t.Errorf("ListJoin(%q) = %q, want %q", tt.elems, got, tt.list)
+		}
+		back, err := ListSplit(tt.list)
+		if err != nil {
+			t.Errorf("ListSplit(%q): %v", tt.list, err)
+			continue
+		}
+		if !reflect.DeepEqual(back, tt.elems) && !(len(back) == 0 && len(tt.elems) == 0) {
+			t.Errorf("ListSplit(%q) = %q, want %q", tt.list, back, tt.elems)
+		}
+	}
+}
+
+func TestListSplitForms(t *testing.T) {
+	tests := []struct {
+		list string
+		want []string
+	}{
+		{"a {b c} d", []string{"a", "b c", "d"}},
+		{`a "b c" d`, []string{"a", "b c", "d"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"{nested {deep list}}", []string{"nested {deep list}"}},
+		{`back\ slash`, []string{"back slash"}},
+		{"", []string{}},
+		{"\t\n", []string{}},
+	}
+	for _, tt := range tests {
+		got, err := ListSplit(tt.list)
+		if err != nil {
+			t.Errorf("ListSplit(%q): %v", tt.list, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("ListSplit(%q) = %q, want %q", tt.list, got, tt.want)
+		}
+	}
+}
+
+func TestListSplitErrors(t *testing.T) {
+	for _, bad := range []string{"{unclosed", `"unclosed`, "{a}x", `"a"x`} {
+		if _, err := ListSplit(bad); err == nil {
+			t.Errorf("ListSplit(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// Property: ListSplit(ListJoin(x)) == x for arbitrary strings, including
+// ones full of Tcl metacharacters.
+func TestPropertyListRoundTrip(t *testing.T) {
+	f := func(elems []string) bool {
+		joined := ListJoin(elems)
+		back, err := ListSplit(joined)
+		if err != nil {
+			return false
+		}
+		if len(elems) == 0 {
+			return len(back) == 0
+		}
+		return reflect.DeepEqual(back, elems)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListCommands(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"list", `list a b "c d"`, "a b {c d}"},
+		{"list empty elem", `list a {} b`, "a {} b"},
+		{"lindex", `lindex {a b c} 1`, "b"},
+		{"lindex end", `lindex {a b c} end`, "c"},
+		{"lindex end-1", `lindex {a b c} end-1`, "b"},
+		{"lindex out of range", `lindex {a b} 5`, ""},
+		{"llength", `llength {a b c d}`, "4"},
+		{"llength empty", `llength {}`, "0"},
+		{"llength nested", `llength {a {b c} d}`, "3"},
+		{"lappend", `set l {a}; lappend l b {c d}`, "a b {c d}"},
+		{"lappend fresh var", `lappend fresh x`, "x"},
+		{"lrange", `lrange {a b c d e} 1 3`, "b c d"},
+		{"lrange end", `lrange {a b c d} 2 end`, "c d"},
+		{"lrange clamp", `lrange {a b} 0 99`, "a b"},
+		{"lrange inverted", `lrange {a b c} 2 1`, ""},
+		{"linsert", `linsert {a b c} 1 x y`, "a x y b c"},
+		{"linsert end", `linsert {a b} end z`, "a b z"},
+		{"lsearch found", `lsearch {a b c} b`, "1"},
+		{"lsearch missing", `lsearch {a b c} z`, "-1"},
+		{"lsearch glob", `lsearch {foo bar baz} ba*`, "1"},
+		{"lsearch exact", `lsearch -exact {foo ba* baz} ba*`, "1"},
+		{"lsort", `lsort {banana apple cherry}`, "apple banana cherry"},
+		{"lsort integer", `lsort -integer {10 2 33 4}`, "2 4 10 33"},
+		{"lsort decreasing", `lsort -integer -decreasing {1 3 2}`, "3 2 1"},
+		{"lreverse", `lreverse {1 2 3}`, "3 2 1"},
+		{"concat", `concat {a b} {c d}`, "a b c d"},
+		{"concat trims", `concat { a } { b }`, "a b"},
+		{"join", `join {a b c} -`, "a-b-c"},
+		{"join default sep", `join {a b}`, "a b"},
+		{"split", `split a,b,c ,`, "a b c"},
+		{"split keeps empty", `split a,,b ,`, "a {} b"},
+		{"split chars", `split abc ""`, "a b c"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := New()
+			got := evalOK(t, in, tt.src)
+			if got != tt.want {
+				t.Errorf("Eval(%q) = %q, want %q", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringCommands(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"length", `string length hello`, "5"},
+		{"tolower", `string tolower ABC`, "abc"},
+		{"toupper", `string toupper abc`, "ABC"},
+		{"trim", `string trim "  hi  "`, "hi"},
+		{"trim chars", `string trim xxhixx x`, "hi"},
+		{"trimleft", `string trimleft "  hi"`, "hi"},
+		{"trimright", `string trimright "hi  "`, "hi"},
+		{"index", `string index abcdef 2`, "c"},
+		{"index end", `string index abc end`, "c"},
+		{"index out of range", `string index ab 9`, ""},
+		{"range", `string range abcdef 1 3`, "bcd"},
+		{"range end", `string range abcdef 3 end`, "def"},
+		{"first", `string first cd abcdef`, "2"},
+		{"first missing", `string first zz abc`, "-1"},
+		{"last", `string last a banana`, "5"},
+		{"match star", `string match "AC*" ACK42`, "1"},
+		{"match miss", `string match "AC*" NAK`, "0"},
+		{"match question", `string match "A?K" ACK`, "1"},
+		{"match class", `string match {[A-C]x} Bx`, "1"},
+		{"match negated class", `string match {[!A-C]x} Dx`, "1"},
+		{"compare lt", `string compare abc abd`, "-1"},
+		{"compare eq", `string compare x x`, "0"},
+		{"equal", `string equal abc abc`, "1"},
+		{"repeat", `string repeat ab 3`, "ababab"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := New()
+			got := evalOK(t, in, tt.src)
+			if got != tt.want {
+				t.Errorf("Eval(%q) = %q, want %q", tt.src, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`format "%d" 42`, "42"},
+		{`format "%5d" 42`, "   42"},
+		{`format "%-5d|" 42`, "42   |"},
+		{`format "%05d" 42`, "00042"},
+		{`format "%x" 255`, "ff"},
+		{`format "%X" 255`, "FF"},
+		{`format "%o" 8`, "10"},
+		{`format "%s=%d" count 3`, "count=3"},
+		{`format "%.2f" 3.14159`, "3.14"},
+		{`format "%e" 1000.0`, "1.000000e+03"},
+		{`format "%g" 0.0001`, "0.0001"},
+		{`format "%%"`, "%"},
+		{`format "%c" 65`, "A"},
+		{`format "rto=%d ms" 330`, "rto=330 ms"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			in := New()
+			got := evalOK(t, in, tt.src)
+			if got != tt.want {
+				t.Errorf("Eval(%q) = %q, want %q", tt.src, got, tt.want)
+			}
+		})
+	}
+	in := New()
+	for _, bad := range []string{`format "%d" abc`, `format "%d"`, `format "%q" 1`} {
+		if _, err := in.Eval(bad); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMatchGlob(t *testing.T) {
+	tests := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"a*b", "ab", true},
+		{"a*b", "axxxb", true},
+		{"a*b", "axxxc", false},
+		{"*.go", "main.go", true},
+		{"*.go", "main.c", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"[abc]", "b", true},
+		{"[abc]", "d", false},
+		{"[a-z]x", "mx", true},
+		{"[!a-z]x", "Mx", true},
+		{"[^abc]", "a", false},
+		{`\*`, "*", true},
+		{`\*`, "x", false},
+		{"**a", "xya", true},
+		{"a*b*c", "a1b2c", true},
+		{"a*b*c", "a1c2b", false},
+	}
+	for _, tt := range tests {
+		if got := MatchGlob(tt.pat, tt.s); got != tt.want {
+			t.Errorf("MatchGlob(%q, %q) = %v, want %v", tt.pat, tt.s, got, tt.want)
+		}
+	}
+}
+
+// Property: every string matches itself when glob-escaped is not needed,
+// and "*" matches everything.
+func TestPropertyGlobStar(t *testing.T) {
+	f := func(s string) bool { return MatchGlob("*", s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLreplaceLassignStringMap(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"lreplace middle", `lreplace {a b c d} 1 2 X Y Z`, "a X Y Z d"},
+		{"lreplace delete", `lreplace {a b c} 1 1`, "a c"},
+		{"lreplace end", `lreplace {a b c} 2 end Z`, "a b Z"},
+		{"lreplace insert nothing removed", `lreplace {a b c} 1 0 X`, "a X b c"},
+		{"lassign exact", `lassign {1 2} x y; format "%s:%s" $x $y`, "1:2"},
+		{"lassign leftover", `lassign {1 2 3 4} x y`, "3 4"},
+		{"lassign short", `lassign {1} x y; string length $y`, "0"},
+		{"string map", `string map {ACK NAK foo bar} "ACK of foo"`, "NAK of bar"},
+		{"string map empty", `string map {} unchanged`, "unchanged"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := New()
+			got := evalOK(t, in, tt.src)
+			if got != tt.want {
+				t.Errorf("Eval(%q) = %q, want %q", tt.src, got, tt.want)
+			}
+		})
+	}
+	in := New()
+	for _, bad := range []string{
+		`lreplace {a}`,
+		`lassign {a}`,
+		`string map {odd} x`,
+	} {
+		if _, err := in.Eval(bad); err == nil {
+			t.Errorf("Eval(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package simtime provides a deterministic discrete-event virtual clock.
+//
+// Every protocol timer and network delivery in this repository is an event
+// scheduled on a Scheduler. Time advances only when the scheduler runs the
+// next event, so experiments that span hours of protocol time (for example
+// TCP keep-alive probing at 7200-second intervals) complete in milliseconds
+// of wall-clock time while exercising the identical code paths.
+//
+// Determinism contract: events fire in (time, sequence) order. Two events
+// scheduled for the same instant fire in the order they were scheduled, so a
+// seeded experiment replays bit-identically.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant on the virtual clock, measured as a Duration since the
+// start of the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for call sites that want to be explicit
+// about operating on virtual durations.
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as a floating-point number of virtual seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats the instant as a duration since the epoch, e.g. "1m4s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel or reschedule it.
+type Event struct {
+	when   Time
+	seq    uint64
+	index  int // heap index, -1 when not queued
+	fn     func()
+	name   string
+	period Duration // 0 for one-shot events
+}
+
+// When reports the instant the event will fire (or last fired).
+func (e *Event) When() Time { return e.when }
+
+// Name reports the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Scheduler is a discrete-event executor. It is not safe for concurrent use;
+// the entire simulation is single-threaded by design (see package comment).
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+}
+
+// NewScheduler returns a scheduler whose clock reads the epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Peek reports the instant of the next pending event without running it.
+func (s *Scheduler) Peek() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].when, true
+}
+
+// AdvanceTo moves the clock forward to t without running events (events
+// due at or before t fire on the next Step/Run). It is used by real-time
+// adapters that map the virtual clock onto the wall clock; it refuses to
+// move backwards.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// (before Now) fires the event at the current instant instead: the event
+// queue never travels backwards.
+func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{when: t, seq: s.nextSeq(), fn: fn, name: name, index: -1}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. A non-positive d
+// fires at the current instant (still asynchronously, via the queue).
+func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Every schedules fn to run every period, first firing after one period.
+// Cancel stops future firings.
+func (s *Scheduler) Every(period Duration, name string, fn func()) *Event {
+	if period <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive period %v for %q", period, name))
+	}
+	ev := s.After(period, name, fn)
+	ev.period = period
+	return ev
+}
+
+// Cancel removes ev from the queue. Cancelling a nil, fired, or already
+// cancelled event is a no-op. It reports whether the event was pending.
+func (s *Scheduler) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, ev.index)
+	ev.index = -1
+	ev.period = 0
+	return true
+}
+
+// Reschedule moves a pending one-shot event to fire d after now. If the
+// event already fired it is re-armed.
+func (s *Scheduler) Reschedule(ev *Event, d Duration) {
+	if ev == nil {
+		return
+	}
+	s.Cancel(ev)
+	if d < 0 {
+		d = 0
+	}
+	ev.when = s.now.Add(d)
+	ev.seq = s.nextSeq()
+	heap.Push(&s.queue, ev)
+}
+
+// Step runs the single next event, advancing the clock to its instant.
+// It reports false when the queue is empty or the scheduler was stopped.
+func (s *Scheduler) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*Event)
+	ev.index = -1
+	if ev.when > s.now {
+		s.now = ev.when // never backwards (AdvanceTo may have passed it)
+	}
+	if ev.period > 0 {
+		ev.when = s.now.Add(ev.period)
+		ev.seq = s.nextSeq()
+		heap.Push(&s.queue, ev)
+	}
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the number of events executed.
+func (s *Scheduler) Run() int {
+	return s.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events whose instant is <= deadline, then advances the
+// clock to the deadline (if it is beyond the last event run). It returns the
+// number of events executed.
+func (s *Scheduler) RunUntil(deadline Time) int {
+	if s.running {
+		panic("simtime: re-entrant Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	n := 0
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].when <= deadline {
+		s.Step()
+		n++
+	}
+	if !s.stopped && s.now < deadline && deadline < Time(1<<62-1) {
+		s.now = deadline
+	}
+	return n
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Scheduler) RunFor(d Duration) int {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// Stop halts a Run/RunUntil in progress after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+func (s *Scheduler) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// eventQueue is a binary heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,224 @@
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pfi/internal/message"
+	"pfi/internal/simtime"
+)
+
+func newEnv() *Env {
+	return &Env{Sched: simtime.NewScheduler(), Node: "test"}
+}
+
+// headerLayer pushes its tag going down and verifies/pops it going up.
+func headerLayer(tag string) *Func {
+	return NewFunc(tag,
+		func(m *message.Message, next Sink) error {
+			m.Push([]byte(tag))
+			return next(m)
+		},
+		func(m *message.Message, next Sink) error {
+			h, err := m.Pop(len(tag))
+			if err != nil {
+				return err
+			}
+			if string(h) != tag {
+				return fmt.Errorf("layer %s saw header %q", tag, h)
+			}
+			return next(m)
+		})
+}
+
+func TestSendPushesHeadersTopToBottom(t *testing.T) {
+	s := New(newEnv(), headerLayer("aa"), headerLayer("bb"), headerLayer("cc"))
+	var wire []byte
+	s.OnTransmit(func(m *message.Message) error {
+		wire = m.CopyBytes()
+		return nil
+	})
+	if err := s.Send(message.NewString("data")); err != nil {
+		t.Fatal(err)
+	}
+	if string(wire) != "ccbbaadata" {
+		t.Fatalf("wire = %q, want ccbbaadata", wire)
+	}
+}
+
+func TestDeliverPopsHeadersBottomToTop(t *testing.T) {
+	s := New(newEnv(), headerLayer("aa"), headerLayer("bb"))
+	var appData []byte
+	s.OnDeliver(func(m *message.Message) error {
+		appData = m.CopyBytes()
+		return nil
+	})
+	if err := s.Deliver(message.NewString("bbaapayload")); err != nil {
+		t.Fatal(err)
+	}
+	if string(appData) != "payload" {
+		t.Fatalf("app saw %q, want payload", appData)
+	}
+}
+
+func TestRoundTripThroughTwoStacks(t *testing.T) {
+	mk := func() *Stack {
+		return New(newEnv(), headerLayer("t1"), headerLayer("t2"), headerLayer("t3"))
+	}
+	a, b := mk(), mk()
+	var got []byte
+	a.OnTransmit(func(m *message.Message) error { return b.Deliver(m) })
+	b.OnDeliver(func(m *message.Message) error {
+		got = m.CopyBytes()
+		return nil
+	})
+	if err := a.Send(message.NewString("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("peer app got %q, want hello", got)
+	}
+}
+
+func TestInsertBelowInterposes(t *testing.T) {
+	s := New(newEnv(), headerLayer("app1"), headerLayer("net1"))
+	var seen []string
+	spy := NewFunc("pfi",
+		func(m *message.Message, next Sink) error {
+			seen = append(seen, "down:"+string(m.CopyBytes()))
+			return next(m)
+		},
+		func(m *message.Message, next Sink) error {
+			seen = append(seen, "up:"+string(m.CopyBytes()))
+			return next(m)
+		})
+	if err := s.InsertBelow("app1", spy); err != nil {
+		t.Fatal(err)
+	}
+	s.OnTransmit(func(m *message.Message) error { return nil })
+	if err := s.Send(message.NewString("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The PFI layer sits below app1, so going down it sees app1's header
+	// already pushed but not net1's.
+	if len(seen) != 1 || seen[0] != "down:app1x" {
+		t.Fatalf("pfi observed %v, want [down:app1x]", seen)
+	}
+	if err := s.Deliver(message.NewString("net1app1y")); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[1] != "up:app1y" {
+		t.Fatalf("pfi observed %v, want up:app1y second", seen)
+	}
+}
+
+func TestInsertAbove(t *testing.T) {
+	s := New(newEnv(), headerLayer("tgt"))
+	var downSeen string
+	spy := NewFunc("driver",
+		func(m *message.Message, next Sink) error {
+			downSeen = string(m.CopyBytes())
+			return next(m)
+		}, nil)
+	if err := s.InsertAbove("tgt", spy); err != nil {
+		t.Fatal(err)
+	}
+	s.OnTransmit(func(m *message.Message) error { return nil })
+	if err := s.Send(message.NewString("z")); err != nil {
+		t.Fatal(err)
+	}
+	// Above the target: sees the raw app payload before tgt's header.
+	if downSeen != "z" {
+		t.Fatalf("driver saw %q, want z", downSeen)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	s := New(newEnv(), headerLayer("only"))
+	if err := s.InsertBelow("ghost", NewFunc("x", nil, nil)); err == nil {
+		t.Fatal("InsertBelow unknown layer succeeded")
+	}
+	if err := s.InsertAbove("ghost", NewFunc("x", nil, nil)); err == nil {
+		t.Fatal("InsertAbove unknown layer succeeded")
+	}
+	if err := s.Insert(5, NewFunc("x", nil, nil)); err == nil {
+		t.Fatal("Insert out of range succeeded")
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := New(newEnv(), headerLayer("a"), headerLayer("b"))
+	if _, ok := s.Find("b"); !ok {
+		t.Fatal("Find(b) failed")
+	}
+	if _, ok := s.Find("zz"); ok {
+		t.Fatal("Find(zz) succeeded")
+	}
+}
+
+func TestLayerCanDropMessage(t *testing.T) {
+	transmitted := 0
+	dropper := NewFunc("drop-evens", func(m *message.Message, next Sink) error {
+		b, _ := m.ByteAt(0)
+		if b%2 == 0 {
+			return nil // swallow: the essence of fault injection
+		}
+		return next(m)
+	}, nil)
+	s := New(newEnv(), dropper)
+	s.OnTransmit(func(m *message.Message) error {
+		transmitted++
+		return nil
+	})
+	for i := byte(0); i < 10; i++ {
+		if err := s.Send(message.New([]byte{i})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if transmitted != 5 {
+		t.Fatalf("transmitted %d, want 5", transmitted)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	bad := NewFunc("bad", func(m *message.Message, next Sink) error { return boom }, nil)
+	s := New(newEnv(), headerLayer("top"), bad)
+	if err := s.Send(message.NewString("x")); !errors.Is(err, boom) {
+		t.Fatalf("Send error = %v, want boom", err)
+	}
+}
+
+func TestEmptyStackPassesThrough(t *testing.T) {
+	s := New(newEnv())
+	sent, delivered := false, false
+	s.OnTransmit(func(m *message.Message) error { sent = true; return nil })
+	s.OnDeliver(func(m *message.Message) error { delivered = true; return nil })
+	if err := s.Send(message.New(nil)); err != nil || !sent {
+		t.Fatalf("empty stack send: %v sent=%v", err, sent)
+	}
+	if err := s.Deliver(message.New(nil)); err != nil || !delivered {
+		t.Fatalf("empty stack deliver: %v delivered=%v", err, delivered)
+	}
+}
+
+func TestUnsetSinksDiscard(t *testing.T) {
+	s := New(newEnv(), headerLayer("l"))
+	if err := s.Send(message.NewString("x")); err != nil {
+		t.Fatalf("Send with no transmit sink: %v", err)
+	}
+	if err := s.Deliver(message.NewString("lx")); err != nil {
+		t.Fatalf("Deliver with no deliver sink: %v", err)
+	}
+}
+
+func TestUnwiredBaseErrors(t *testing.T) {
+	b := NewBase("lonely")
+	if err := b.Down(message.New(nil)); err == nil {
+		t.Fatal("unwired Down succeeded")
+	}
+	if err := b.Up(message.New(nil)); err == nil {
+		t.Fatal("unwired Up succeeded")
+	}
+}

@@ -1,0 +1,871 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"pfi/internal/simtime"
+)
+
+// State is a TCP connection state (RFC-793 §3.2).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota + 1
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = map[State]string{
+	StateClosed:      "CLOSED",
+	StateListen:      "LISTEN",
+	StateSynSent:     "SYN-SENT",
+	StateSynRcvd:     "SYN-RCVD",
+	StateEstablished: "ESTABLISHED",
+	StateFinWait1:    "FIN-WAIT-1",
+	StateFinWait2:    "FIN-WAIT-2",
+	StateCloseWait:   "CLOSE-WAIT",
+	StateClosing:     "CLOSING",
+	StateLastAck:     "LAST-ACK",
+	StateTimeWait:    "TIME-WAIT",
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// timeWaitDur is 2*MSL for the TIME-WAIT hold.
+const timeWaitDur = 60 * time.Second
+
+// sentSeg is one transmitted, not-yet-acknowledged segment.
+type sentSeg struct {
+	seg         *Segment
+	end         uint32 // Seq + SeqSpace
+	firstSentAt simtime.Time
+	retransmits int
+}
+
+// Conn is one TCP connection endpoint. All methods must be called from the
+// simulation's event loop (single-threaded by design).
+type Conn struct {
+	layer *Layer
+	prof  Profile
+	est   *rtoEstimator
+
+	state      State
+	localPort  uint16
+	remoteNode string
+	remotePort uint16
+
+	// Send sequence space (RFC-793 names).
+	iss    uint32
+	sndUna uint32
+	sndNxt uint32
+	sndWnd int
+
+	sendQ   []byte // data accepted from the app, not yet segmented
+	unacked []*sentSeg
+
+	rtxTimer *simtime.Event
+	// rtxCount counts consecutive timeouts of the oldest segment (the BSD
+	// per-segment retry counter).
+	rtxCount int
+	// globalErr is the Solaris per-connection fault counter: incremented on
+	// every timeout, cleared only by a "clean" ACK (one that newly
+	// acknowledges at least one never-retransmitted segment).
+	globalErr int
+	// backoff is the current retransmission backoff exponent; per Karn's
+	// algorithm it persists across segments until a valid RTT sample.
+	backoff int
+
+	// Round-trip timing (one segment at a time; Karn's rule).
+	timingValid  bool
+	timedEnd     uint32
+	timedAt      simtime.Time
+	timedRetrans bool
+
+	// Receive sequence space.
+	irs         uint32
+	rcvNxt      uint32
+	recvBufSize int
+	recvQ       []byte            // accepted, not yet consumed by the app
+	oooQ        map[uint32][]byte // out-of-order segments keyed by seq
+	autoConsume bool
+
+	// Keep-alive.
+	keepAlive bool
+	kaTimer   *simtime.Event
+	kaProbing bool
+	kaRetrans int
+
+	// Zero-window probing.
+	zwpTimer *simtime.Event
+	zwpCount int
+	zwpEver  bool
+
+	// Delayed acknowledgment (RFC-1122 SHOULD; profile-dependent).
+	delackTimer   *simtime.Event
+	delackPending int
+
+	timeWaitTimer *simtime.Event
+
+	// Callbacks (any may be nil).
+	onEstablished func()
+	onData        func(data []byte)
+	onClose       func(reason string)
+
+	closeReason string
+}
+
+// newConn builds a connection in the given initial state.
+func (l *Layer) newConn(state State, localPort uint16, remoteNode string, remotePort uint16) *Conn {
+	c := &Conn{
+		layer:       l,
+		prof:        l.prof,
+		est:         newRTOEstimator(l.prof),
+		state:       state,
+		localPort:   localPort,
+		remoteNode:  remoteNode,
+		remotePort:  remotePort,
+		recvBufSize: l.prof.RecvBuf,
+		oooQ:        make(map[uint32][]byte),
+		autoConsume: true,
+	}
+	c.iss = l.nextISS()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	c.sndWnd = l.prof.MSS // conservative until the peer advertises
+	return c
+}
+
+// --- public API -----------------------------------------------------------
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteNode returns the peer's node name.
+func (c *Conn) RemoteNode() string { return c.remoteNode }
+
+// RemotePort returns the peer's port.
+func (c *Conn) RemotePort() uint16 { return c.remotePort }
+
+// CloseReason reports why the connection reached CLOSED ("" while open).
+func (c *Conn) CloseReason() string { return c.closeReason }
+
+// UnackedSegments reports in-flight segments awaiting acknowledgment.
+func (c *Conn) UnackedSegments() int { return len(c.unacked) }
+
+// OnEstablished registers the connection-up callback.
+func (c *Conn) OnEstablished(fn func()) { c.onEstablished = fn }
+
+// OnData registers the inbound-data callback. With auto-consume enabled
+// (the default) it fires as data arrives in order.
+func (c *Conn) OnData(fn func(data []byte)) { c.onData = fn }
+
+// OnClose registers the teardown callback with a human-readable reason.
+func (c *Conn) OnClose(fn func(reason string)) { c.onClose = fn }
+
+// SetKeepAlive turns keep-alive probing on or off (off per spec default).
+func (c *Conn) SetKeepAlive(on bool) {
+	c.keepAlive = on
+	if on {
+		c.armKeepAliveIdle()
+	} else if c.kaTimer != nil {
+		c.sched().Cancel(c.kaTimer)
+		c.kaProbing = false
+	}
+}
+
+// SetAutoConsume controls receive-buffer draining. Disabling it emulates
+// the paper's zero-window experiment setup, where the driver "did not
+// reset the receive buffer space": accepted data accumulates until the
+// advertised window reaches zero.
+func (c *Conn) SetAutoConsume(on bool) { c.autoConsume = on }
+
+// Consume removes up to n bytes from the receive buffer, reopening the
+// advertised window, and returns them.
+func (c *Conn) Consume(n int) []byte {
+	if n > len(c.recvQ) {
+		n = len(c.recvQ)
+	}
+	data := c.recvQ[:n]
+	c.recvQ = c.recvQ[n:]
+	// The window may have reopened; tell the peer (the "ACK segment that
+	// re-opens the window" the spec warns may be lost).
+	if c.state == StateEstablished && n > 0 {
+		c.sendACK()
+	}
+	return data
+}
+
+// RecvBuffered reports bytes accepted but not yet consumed.
+func (c *Conn) RecvBuffered() int { return len(c.recvQ) }
+
+// recvWindow is the space the connection advertises.
+func (c *Conn) recvWindow() int {
+	w := c.recvBufSize - len(c.recvQ)
+	if w < 0 {
+		return 0
+	}
+	if w > 0xFFFF {
+		return 0xFFFF
+	}
+	return w
+}
+
+// Send queues application data for transmission.
+func (c *Conn) Send(data []byte) error {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynRcvd:
+	default:
+		return fmt.Errorf("tcp: send in state %v", c.state)
+	}
+	c.sendQ = append(c.sendQ, data...)
+	c.pump()
+	return nil
+}
+
+// Close initiates an orderly shutdown (FIN).
+func (c *Conn) Close() error {
+	switch c.state {
+	case StateEstablished:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	case StateSynSent, StateSynRcvd:
+		c.drop("closed before establishment", false)
+		return nil
+	case StateClosed:
+		return nil
+	default:
+		return fmt.Errorf("tcp: close in state %v", c.state)
+	}
+	c.sendControl(FlagFIN|FlagACK, true)
+	return nil
+}
+
+// Abort resets the connection immediately (RST to peer).
+func (c *Conn) Abort() { c.drop("aborted by user", true) }
+
+// --- plumbing ---------------------------------------------------------------
+
+func (c *Conn) sched() *simtime.Scheduler { return c.layer.env.Sched }
+
+func (c *Conn) now() simtime.Time { return c.sched().Now() }
+
+// transmit encodes and ships a segment toward the peer.
+func (c *Conn) transmit(seg *Segment) {
+	c.layer.transmit(c.remoteNode, seg)
+}
+
+func (c *Conn) baseSegment(flags uint8) *Segment {
+	return &Segment{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  uint16(c.recvWindow()),
+	}
+}
+
+// sendControl transmits a flags-only segment that occupies sequence space
+// (SYN/FIN); if track, it joins the retransmission queue.
+func (c *Conn) sendControl(flags uint8, track bool) {
+	seg := c.baseSegment(flags)
+	space := seg.SeqSpace()
+	c.sndNxt += space
+	if track && space > 0 {
+		c.trackSent(seg)
+	}
+	c.transmit(seg)
+}
+
+// sendACK transmits a bare acknowledgment (does not occupy seq space and
+// is never retransmitted — which is why zero-window probing must exist).
+// Any withheld delayed ACK is satisfied by it.
+func (c *Conn) sendACK() {
+	c.delackPending = 0
+	if c.delackTimer != nil {
+		c.sched().Cancel(c.delackTimer)
+	}
+	c.transmit(c.baseSegment(FlagACK))
+}
+
+// ackInOrderData acknowledges freshly accepted in-order data, withholding
+// the ACK per the delayed-ACK policy when the profile uses one: at most
+// one ACK per two segments, and never delayed past DelackTimeout.
+func (c *Conn) ackInOrderData() {
+	if !c.prof.DelayedACK {
+		c.sendACK()
+		return
+	}
+	c.delackPending++
+	if c.delackPending >= 2 {
+		c.sendACK()
+		return
+	}
+	if c.delackTimer == nil || !c.delackTimer.Pending() {
+		c.delackTimer = c.sched().After(c.prof.DelackTimeout, "tcp-delack", func() {
+			if c.state == StateEstablished || c.state == StateCloseWait {
+				c.sendACK()
+			}
+		})
+	}
+}
+
+func (c *Conn) trackSent(seg *Segment) {
+	ss := &sentSeg{seg: seg, end: seg.Seq + seg.SeqSpace(), firstSentAt: c.now()}
+	c.unacked = append(c.unacked, ss)
+	if !c.timingValid {
+		c.timingValid = true
+		c.timedEnd = ss.end
+		c.timedAt = c.now()
+		c.timedRetrans = false
+	}
+	c.armRtx()
+}
+
+// pump transmits queued data within the send window.
+func (c *Conn) pump() {
+	if c.state != StateEstablished && c.state != StateCloseWait {
+		return
+	}
+	for len(c.sendQ) > 0 {
+		inFlight := int(c.sndNxt - c.sndUna)
+		room := c.sndWnd - inFlight
+		if room <= 0 {
+			if c.sndWnd == 0 {
+				c.startZWP()
+			}
+			return
+		}
+		n := c.prof.MSS
+		if n > room {
+			n = room
+		}
+		if n > len(c.sendQ) {
+			n = len(c.sendQ)
+		}
+		payload := append([]byte(nil), c.sendQ[:n]...)
+		c.sendQ = c.sendQ[n:]
+		seg := c.baseSegment(FlagACK | FlagPSH)
+		seg.Payload = payload
+		c.sndNxt += uint32(n)
+		c.trackSent(seg)
+		c.transmit(seg)
+	}
+}
+
+// --- retransmission -----------------------------------------------------------
+
+func (c *Conn) armRtx() {
+	d := c.est.backedOff(c.backoff)
+	if c.rtxTimer != nil && c.rtxTimer.Pending() {
+		return // timer already running for the oldest segment
+	}
+	c.rtxTimer = c.sched().After(d, "tcp-rtx "+c.layer.env.Node, c.onRtxTimeout)
+}
+
+func (c *Conn) rearmRtx() {
+	if c.rtxTimer != nil {
+		c.sched().Cancel(c.rtxTimer)
+	}
+	if len(c.unacked) == 0 {
+		return
+	}
+	c.rtxTimer = c.sched().After(c.est.backedOff(c.backoff), "tcp-rtx "+c.layer.env.Node, c.onRtxTimeout)
+}
+
+func (c *Conn) onRtxTimeout() {
+	if len(c.unacked) == 0 || c.state == StateClosed {
+		return
+	}
+	// Give up?
+	if c.prof.GlobalErrorCounter {
+		if c.globalErr >= c.prof.MaxRetransmits {
+			c.drop("retransmission limit (global error counter)", c.prof.ResetOnTimeout)
+			return
+		}
+	} else if c.rtxCount >= c.prof.MaxRetransmits {
+		c.drop("retransmission limit", c.prof.ResetOnTimeout)
+		return
+	}
+	oldest := c.unacked[0]
+	oldest.retransmits++
+	c.rtxCount++
+	c.globalErr++
+	c.backoff++
+	if c.timingValid && seqLEQ(c.timedEnd, oldest.end) {
+		// Karn: the timed segment was retransmitted; its sample is
+		// ambiguous and must be discarded.
+		c.timedRetrans = true
+	}
+	// Refresh ack/window fields on the retransmission.
+	oldest.seg.Ack = c.rcvNxt
+	oldest.seg.Window = uint16(c.recvWindow())
+	c.layer.logEvent(c, "retransmit", oldest.seg)
+	c.transmit(oldest.seg)
+	c.rtxTimer = c.sched().After(c.est.backedOff(c.backoff), "tcp-rtx "+c.layer.env.Node, c.onRtxTimeout)
+}
+
+// --- segment arrival ------------------------------------------------------------
+
+// handleSegment is the connection's input function.
+func (c *Conn) handleSegment(seg *Segment) {
+	if c.state == StateClosed {
+		return
+	}
+	if seg.Has(FlagRST) {
+		if c.state == StateSynSent && (!seg.Has(FlagACK) || seg.Ack != c.iss+1) {
+			return // RST not for our SYN
+		}
+		c.drop("connection reset by peer", false)
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		c.handleSynSent(seg)
+		return
+	case StateSynRcvd:
+		if seg.Has(FlagACK) && seg.Ack == c.iss+1 {
+			c.establish(seg)
+			// Fall through to normal processing for any piggybacked data.
+		} else if seg.Has(FlagSYN) {
+			// Duplicate SYN: repeat the SYN-ACK.
+			c.retransmitHandshake()
+			return
+		} else {
+			return
+		}
+	case StateListen, StateClosed:
+		return
+	}
+
+	// ESTABLISHED and later states.
+	if seg.Has(FlagACK) {
+		c.processAck(seg)
+		if c.state == StateClosed {
+			return
+		}
+	}
+	if seg.Len() > 0 || seg.Has(FlagFIN) {
+		c.processPayload(seg)
+	} else if seg.Len() == 0 && seqLess(seg.Seq, c.rcvNxt) {
+		// An old (below-window) empty segment — a keep-alive probe with no
+		// data, or a retransmitted SYN-ACK whose handshake ACK was lost —
+		// must elicit an ACK.
+		c.sendACK()
+	}
+	// Any traffic from the peer proves liveness: keep-alive goes back to
+	// the idle phase.
+	c.keepAliveActivity()
+}
+
+func (c *Conn) handleSynSent(seg *Segment) {
+	if !seg.Has(FlagSYN) {
+		return
+	}
+	if seg.Has(FlagACK) && seg.Ack != c.iss+1 {
+		return // bogus
+	}
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq + 1
+	if seg.Has(FlagACK) {
+		c.ackHandshake(seg.Ack)
+		c.state = StateEstablished
+		c.sndWnd = int(seg.Window)
+		c.sendACK()
+		c.layer.logEvent(c, "established", seg)
+		if c.onEstablished != nil {
+			c.onEstablished()
+		}
+		c.pump()
+		if c.keepAlive {
+			c.armKeepAliveIdle()
+		}
+		return
+	}
+	// Simultaneous open: SYN without ACK.
+	c.state = StateSynRcvd
+	c.sendControl(FlagSYN|FlagACK, false)
+}
+
+// ackHandshake consumes the SYN's sequence slot from the rtx queue.
+func (c *Conn) ackHandshake(ack uint32) {
+	c.sndUna = ack
+	c.dropAcked(ack)
+	c.rtxCount = 0
+	c.backoff = 0
+	c.rearmRtx()
+}
+
+func (c *Conn) establish(seg *Segment) {
+	c.state = StateEstablished
+	c.sndWnd = int(seg.Window)
+	c.ackHandshake(seg.Ack)
+	c.layer.logEvent(c, "established", seg)
+	if c.onEstablished != nil {
+		c.onEstablished()
+	}
+	if c.layer.acceptFns[c.localPort] != nil {
+		c.layer.acceptFns[c.localPort](c)
+	}
+	c.pump()
+	if c.keepAlive {
+		c.armKeepAliveIdle()
+	}
+}
+
+func (c *Conn) retransmitHandshake() {
+	seg := c.baseSegment(FlagSYN | FlagACK)
+	seg.Seq = c.iss
+	c.transmit(seg)
+}
+
+// dropAcked removes fully acknowledged segments, returning how many were
+// removed and whether any removed segment was never retransmitted.
+func (c *Conn) dropAcked(ack uint32) (removed int, anyClean bool) {
+	i := 0
+	for i < len(c.unacked) && seqLEQ(c.unacked[i].end, ack) {
+		if c.unacked[i].retransmits == 0 {
+			anyClean = true
+		}
+		i++
+	}
+	if i > 0 {
+		c.unacked = c.unacked[i:]
+	}
+	return i, anyClean
+}
+
+func (c *Conn) processAck(seg *Segment) {
+	if seqLess(c.sndUna, seg.Ack) && seqLEQ(seg.Ack, c.sndNxt) {
+		// New data acknowledged. (FIN status must be read before the acked
+		// segments — including the FIN — leave the queue.)
+		ackedFin := c.finOutstanding() && seg.Ack == c.sndNxt
+		removed, anyClean := c.dropAcked(seg.Ack)
+		c.sndUna = seg.Ack
+
+		// Round-trip sampling.
+		if c.timingValid && seqLEQ(c.timedEnd, seg.Ack) {
+			rtt := time.Duration(c.now().Sub(c.timedAt))
+			if c.prof.UseJacobson {
+				if !c.timedRetrans { // Karn's rule
+					c.est.sample(rtt)
+					c.backoff = 0
+				}
+			} else {
+				// Solaris-style crude sampling: no Karn exclusion, no
+				// smoothing (see rtoEstimator).
+				c.est.sampleCrude(rtt)
+				c.backoff = 0
+			}
+			c.timingValid = false
+		}
+
+		// Retry accounting.
+		c.rtxCount = 0
+		if !c.prof.UseJacobson {
+			c.backoff = 0
+		}
+		if anyClean {
+			c.globalErr = 0
+		}
+		_ = removed
+		c.rearmRtx()
+
+		if ackedFin {
+			c.finAcked()
+		}
+	}
+	c.sndWnd = int(seg.Window)
+	if c.sndWnd > 0 {
+		c.stopZWP()
+		c.pump()
+	} else if len(c.sendQ) > 0 || c.zwpEver {
+		c.startZWP()
+	}
+}
+
+func (c *Conn) finOutstanding() bool {
+	for _, ss := range c.unacked {
+		if ss.seg.Has(FlagFIN) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Conn) finAcked() {
+	switch c.state {
+	case StateFinWait1:
+		c.state = StateFinWait2
+	case StateClosing:
+		c.enterTimeWait()
+	case StateLastAck:
+		c.finish("connection closed")
+	}
+}
+
+func (c *Conn) processPayload(seg *Segment) {
+	switch {
+	case seg.Seq == c.rcvNxt:
+		c.acceptInOrder(seg)
+	case seqLess(c.rcvNxt, seg.Seq):
+		// Future segment: queue it (RFC-1122 says a TCP SHOULD queue
+		// out-of-order segments; all four vendor stacks did) and ACK to
+		// show the gap.
+		if len(c.oooQ) < 64 && seg.Len() > 0 {
+			c.oooQ[seg.Seq] = append([]byte(nil), seg.Payload...)
+		}
+		c.sendACK()
+	default:
+		// Old or duplicate data (retransmission overlap, keep-alive with
+		// garbage byte): already received, re-ACK it.
+		c.sendACK()
+	}
+}
+
+func (c *Conn) acceptInOrder(seg *Segment) {
+	data := seg.Payload
+	space := c.recvBufSize - len(c.recvQ)
+	if len(data) > space {
+		data = data[:space] // receiver trims what it has no room for
+	}
+	if len(data) > 0 {
+		c.rcvNxt += uint32(len(data))
+		if c.autoConsume {
+			if c.onData != nil {
+				c.onData(append([]byte(nil), data...))
+			}
+		} else {
+			c.recvQ = append(c.recvQ, data...)
+			if c.onData != nil {
+				c.onData(append([]byte(nil), data...))
+			}
+		}
+	}
+	// Drain any queued out-of-order segments that are now in order.
+	for {
+		next, ok := c.oooQ[c.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(c.oooQ, c.rcvNxt)
+		space := c.recvBufSize - len(c.recvQ)
+		if len(next) > space {
+			next = next[:space]
+		}
+		if len(next) == 0 {
+			break
+		}
+		c.rcvNxt += uint32(len(next))
+		if c.autoConsume {
+			if c.onData != nil {
+				c.onData(next)
+			}
+		} else {
+			c.recvQ = append(c.recvQ, next...)
+			if c.onData != nil {
+				c.onData(next)
+			}
+		}
+	}
+	if seg.Has(FlagFIN) && seg.Seq+uint32(seg.Len()) == c.rcvNxt {
+		c.rcvNxt++
+		c.handleFIN()
+		c.sendACK() // FIN is acknowledged immediately
+		return
+	}
+	c.ackInOrderData()
+}
+
+func (c *Conn) handleFIN() {
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// Our FIN not yet acked: simultaneous close.
+		c.state = StateClosing
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+}
+
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.cancelTimers()
+	c.timeWaitTimer = c.sched().After(timeWaitDur, "tcp-timewait", func() {
+		c.finish("connection closed")
+	})
+}
+
+// --- keep-alive -------------------------------------------------------------------
+
+func (c *Conn) armKeepAliveIdle() {
+	if !c.keepAlive || c.state != StateEstablished {
+		return
+	}
+	if c.kaTimer != nil {
+		c.sched().Cancel(c.kaTimer)
+	}
+	c.kaProbing = false
+	c.kaRetrans = 0
+	c.kaTimer = c.sched().After(c.prof.KeepAliveIdle, "tcp-keepalive-idle", c.onKeepAliveTimer)
+}
+
+func (c *Conn) keepAliveActivity() {
+	if c.keepAlive && c.state == StateEstablished {
+		c.armKeepAliveIdle()
+	}
+}
+
+func (c *Conn) onKeepAliveTimer() {
+	if !c.keepAlive || c.state != StateEstablished {
+		return
+	}
+	if c.kaProbing {
+		c.kaRetrans++
+		if c.kaRetrans > c.prof.KeepAliveProbes {
+			c.drop("keep-alive timeout", c.prof.ResetOnKeepAliveFail)
+			return
+		}
+	} else {
+		c.kaProbing = true
+		c.kaRetrans = 0
+	}
+	c.sendKeepAliveProbe()
+	interval := c.prof.KeepAliveInterval
+	if c.prof.KeepAliveBackoff {
+		for i := 0; i < c.kaRetrans; i++ {
+			interval *= 2
+			if interval > c.prof.RTOMax {
+				interval = c.prof.RTOMax
+				break
+			}
+		}
+	}
+	c.kaTimer = c.sched().After(interval, "tcp-keepalive-probe", c.onKeepAliveTimer)
+}
+
+// sendKeepAliveProbe emits the probe in the profile's format:
+// SEG.SEQ = SND.NXT-1, with one byte of garbage data on SunOS.
+func (c *Conn) sendKeepAliveProbe() {
+	seg := c.baseSegment(FlagACK)
+	seg.Seq = c.sndNxt - 1
+	if c.prof.KeepAliveGarbage {
+		seg.Payload = []byte{0}
+	}
+	c.layer.logEvent(c, "keepalive", seg)
+	c.transmit(seg)
+}
+
+// --- zero-window probing -----------------------------------------------------------
+
+func (c *Conn) startZWP() {
+	if c.zwpTimer != nil && c.zwpTimer.Pending() {
+		return
+	}
+	c.zwpEver = true
+	c.zwpCount = 0
+	c.zwpTimer = c.sched().After(c.zwpInterval(), "tcp-zwp", c.onZWPTimer)
+}
+
+func (c *Conn) stopZWP() {
+	if c.zwpTimer != nil {
+		c.sched().Cancel(c.zwpTimer)
+	}
+	c.zwpEver = false
+	c.zwpCount = 0
+}
+
+func (c *Conn) zwpInterval() time.Duration {
+	d := c.est.rto()
+	for i := 0; i < c.zwpCount; i++ {
+		d *= 2
+		if d >= c.prof.ZWPMax {
+			return c.prof.ZWPMax
+		}
+	}
+	if d > c.prof.ZWPMax {
+		return c.prof.ZWPMax
+	}
+	return d
+}
+
+// onZWPTimer sends a window probe. Probing continues indefinitely whether
+// or not the probes are acknowledged — the behaviour the paper confirmed
+// with the two-day unplugged-Ethernet test on all four stacks.
+func (c *Conn) onZWPTimer() {
+	if c.state != StateEstablished || c.sndWnd > 0 {
+		return
+	}
+	if len(c.sendQ) == 0 && len(c.unacked) == 0 {
+		return
+	}
+	seg := c.baseSegment(FlagACK)
+	if len(c.sendQ) > 0 {
+		seg.Payload = []byte{c.sendQ[0]} // probe carries one byte past the window
+	}
+	c.layer.logEvent(c, "zwp", seg)
+	c.transmit(seg)
+	c.zwpCount++
+	c.zwpTimer = c.sched().After(c.zwpInterval(), "tcp-zwp", c.onZWPTimer)
+}
+
+// --- teardown ----------------------------------------------------------------------
+
+func (c *Conn) cancelTimers() {
+	s := c.sched()
+	for _, ev := range []*simtime.Event{c.rtxTimer, c.kaTimer, c.zwpTimer, c.timeWaitTimer, c.delackTimer} {
+		if ev != nil {
+			s.Cancel(ev)
+		}
+	}
+}
+
+// drop terminates abnormally, optionally notifying the peer with a RST.
+func (c *Conn) drop(reason string, sendRST bool) {
+	if c.state == StateClosed {
+		return
+	}
+	if sendRST {
+		seg := c.baseSegment(FlagRST | FlagACK)
+		c.layer.logEvent(c, "reset", seg)
+		c.transmit(seg)
+	}
+	c.finish(reason)
+}
+
+// finish moves to CLOSED and releases resources.
+func (c *Conn) finish(reason string) {
+	if c.state == StateClosed {
+		return
+	}
+	c.cancelTimers()
+	c.state = StateClosed
+	c.closeReason = reason
+	c.layer.forget(c)
+	c.layer.logEventNote(c, "closed", reason)
+	if c.onClose != nil {
+		c.onClose(reason)
+	}
+}

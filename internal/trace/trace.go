@@ -1,0 +1,218 @@
+// Package trace records timestamped experiment events — the equivalent of
+// the paper's receive-filter packet logs ("each packet was logged with a
+// timestamp by the receive filter script before it was dropped") — and
+// provides the analysis used to build the paper's tables: interval
+// extraction, exponential-backoff detection, and bound estimation.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"pfi/internal/simtime"
+)
+
+// Entry is one logged event.
+type Entry struct {
+	At   simtime.Time
+	Node string
+	Kind string // e.g. "drop", "send", "recv", "retransmit", "keepalive"
+	Type string // protocol message type, e.g. "DATA", "ACK", "COMMIT"
+	Seq  uint64 // protocol sequence number when meaningful
+	Note string
+}
+
+// String renders one log line.
+func (e Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %-10s %-10s %-12s", e.At, e.Node, e.Kind, e.Type)
+	if e.Seq != 0 {
+		fmt.Fprintf(&b, " seq=%d", e.Seq)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " %s", e.Note)
+	}
+	return b.String()
+}
+
+// Log is an append-only event log. It is not safe for concurrent use; the
+// simulation is single-threaded.
+type Log struct {
+	entries []Entry
+	sink    io.Writer // optional live tee
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Tee mirrors every added entry to w as it arrives.
+func (l *Log) Tee(w io.Writer) { l.sink = w }
+
+// Add appends an entry.
+func (l *Log) Add(e Entry) {
+	l.entries = append(l.entries, e)
+	if l.sink != nil {
+		fmt.Fprintln(l.sink, e)
+	}
+}
+
+// Addf appends an entry built from parts.
+func (l *Log) Addf(at simtime.Time, node, kind, typ string, seq uint64, note string) {
+	l.Add(Entry{At: at, Node: node, Kind: kind, Type: typ, Seq: seq, Note: note})
+}
+
+// Len reports the entry count.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Entries returns the raw entries (shared slice; callers must not mutate).
+func (l *Log) Entries() []Entry { return l.entries }
+
+// Filter returns the entries matching all non-empty criteria.
+func (l *Log) Filter(node, kind, typ string) []Entry {
+	var out []Entry
+	for _, e := range l.entries {
+		if node != "" && e.Node != node {
+			continue
+		}
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if typ != "" && e.Type != typ {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Times extracts the timestamps of the filtered entries.
+func (l *Log) Times(node, kind, typ string) []simtime.Time {
+	es := l.Filter(node, kind, typ)
+	ts := make([]simtime.Time, len(es))
+	for i, e := range es {
+		ts[i] = e.At
+	}
+	return ts
+}
+
+// Dump writes the whole log to w.
+func (l *Log) Dump(w io.Writer) {
+	for _, e := range l.entries {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Intervals returns the successive gaps between timestamps.
+func Intervals(ts []simtime.Time) []time.Duration {
+	if len(ts) < 2 {
+		return nil
+	}
+	out := make([]time.Duration, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		out[i-1] = ts[i].Sub(ts[i-1])
+	}
+	return out
+}
+
+// BackoffReport summarizes a retransmission schedule the way the paper's
+// tables do: how many retransmissions, whether gaps grew exponentially, and
+// the plateau (upper bound) if one was reached.
+type BackoffReport struct {
+	Retransmissions int
+	First           time.Duration   // gap between original send and first retransmit
+	Gaps            []time.Duration // successive retransmission gaps
+	Exponential     bool            // each pre-plateau gap ~doubles
+	Plateau         time.Duration   // 0 if never stabilized
+	PlateauReached  bool
+}
+
+// AnalyzeBackoff inspects the timestamps of an original transmission
+// followed by its retransmissions. tolerance is the allowed relative error
+// when checking doubling and plateau equality (e.g. 0.25).
+func AnalyzeBackoff(ts []simtime.Time, tolerance float64) BackoffReport {
+	r := BackoffReport{Retransmissions: len(ts) - 1}
+	if len(ts) < 2 {
+		return r
+	}
+	r.Gaps = Intervals(ts)
+	r.First = r.Gaps[0]
+	// Find the plateau: a maximal run of near-equal gaps at the tail. A run
+	// of at least three gaps is required to call the timeout "stabilized" —
+	// two incidentally similar gaps (e.g. Solaris's 42 s then 48 s before
+	// the abrupt close) are not an upper bound.
+	n := len(r.Gaps)
+	plateauStart := n
+	for i := n - 1; i > 0; i-- {
+		if approxEqual(r.Gaps[i], r.Gaps[i-1], tolerance) {
+			plateauStart = i - 1
+		} else {
+			break
+		}
+	}
+	if plateauStart <= n-3 {
+		r.PlateauReached = true
+		r.Plateau = r.Gaps[n-1]
+	}
+	// Check doubling before the plateau.
+	r.Exponential = true
+	end := plateauStart
+	if !r.PlateauReached {
+		end = n
+	}
+	for i := 1; i < end; i++ {
+		ratio := float64(r.Gaps[i]) / float64(r.Gaps[i-1])
+		if ratio < 2-4*tolerance || ratio > 2+4*tolerance {
+			r.Exponential = false
+			break
+		}
+	}
+	return r
+}
+
+func approxEqual(a, b time.Duration, tol float64) bool {
+	if a == b {
+		return true
+	}
+	hi := float64(a)
+	lo := float64(b)
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	return (hi-lo)/hi <= tol
+}
+
+// Mean returns the average duration (0 for empty input).
+func Mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Median returns the middle duration (0 for empty input).
+func Median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// Max returns the largest duration (0 for empty input).
+func Max(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
