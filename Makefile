@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is the full PR gate: vet, build, race-enabled tests, and a
+# one-iteration pass over every benchmark so the perf suite always compiles.
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run @ ./...

@@ -19,10 +19,17 @@
 package pfi
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"pfi/internal/campaign"
+	"pfi/internal/core"
 	"pfi/internal/exp"
+	"pfi/internal/message"
+	"pfi/internal/script"
+	"pfi/internal/simtime"
+	"pfi/internal/stack"
 	"pfi/internal/tcp"
 )
 
@@ -204,6 +211,132 @@ func BenchmarkTable8_TimerTest(b *testing.B) {
 			b.ReportMetric(float64(buggy.StrayTimeouts), "buggy-stray-timeouts")
 			b.ReportMetric(float64(fixed.StrayTimeouts), "fixed-stray-timeouts")
 		}
+	}
+}
+
+// benchStub is a minimal recognition stub for the hot-path benchmarks: it
+// types every packet without decoding header fields.
+type benchStub struct{}
+
+func (benchStub) Protocol() string { return "bench" }
+func (benchStub) Recognize(m *message.Message) (core.Info, error) {
+	return core.Info{Type: "DATA"}, nil
+}
+func (benchStub) Generate(typ string, fields map[string]string) (*message.Message, error) {
+	return message.NewString(typ), nil
+}
+
+// BenchmarkFilterProcess measures the per-message cost of the PFI layer's
+// script path — the campaign engine's innermost loop. The script is the
+// generated drop-first-n case, so every message runs the recognition stub,
+// the type guard, and the counter bookkeeping.
+func BenchmarkFilterProcess(b *testing.B) {
+	env := &stack.Env{Sched: simtime.NewScheduler(), Node: "bench"}
+	l := core.NewLayer(env, core.WithStub(benchStub{}))
+	stk := stack.New(env, l)
+	stk.OnTransmit(func(m *message.Message) error { return nil })
+	if err := l.SetSendScript(`if {[msg_type cur_msg] eq "DATA"} {
+	if {![info exists dropped]} { set dropped 0 }
+	if {$dropped < 3} {
+		incr dropped
+		xDrop cur_msg
+	}
+}
+`); err != nil {
+		b.Fatal(err)
+	}
+	m := message.NewString("payload-0123456789")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := stk.Send(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpEval measures the interpreter's per-message cost in
+// isolation: a pre-parsed filter body with command substitution, an expr
+// guard, and counter state, run repeatedly on one interpreter.
+func BenchmarkInterpEval(b *testing.B) {
+	in := script.New()
+	in.Register("msg_type", func(_ *script.Interp, args []string) (string, error) {
+		return "DATA", nil
+	})
+	s := script.MustParse(`
+		set type [msg_type cur_msg]
+		if {$type eq "DATA" && [string length $type] > 0} { incr seen }
+	`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepStub recognizes a message's payload string as its type.
+type sweepStub struct{}
+
+func (sweepStub) Protocol() string { return "sweep" }
+func (sweepStub) Recognize(m *message.Message) (core.Info, error) {
+	return core.Info{Type: string(m.Bytes())}, nil
+}
+func (sweepStub) Generate(typ string, fields map[string]string) (*message.Message, error) {
+	return message.NewString(typ), nil
+}
+
+// sweepScenario is one deterministic CPU-bound case: a single-node world
+// whose PFI layer filters a few thousand messages under the generated
+// fault script.
+func sweepScenario(c campaign.Case) (bool, string, error) {
+	env := &stack.Env{Sched: simtime.NewScheduler(), Node: "bench"}
+	l := core.NewLayer(env, core.WithStub(sweepStub{}))
+	stk := stack.New(env, l)
+	var sent, delivered int
+	stk.OnTransmit(func(m *message.Message) error { sent++; return nil })
+	stk.OnDeliver(func(m *message.Message) error { delivered++; return nil })
+	if err := c.Apply(l); err != nil {
+		return false, "", err
+	}
+	types := []string{"DATA", "ACK", "PING"}
+	for i := 0; i < 2000; i++ {
+		typ := types[i%len(types)]
+		if err := stk.Send(message.NewString(typ)); err != nil {
+			return false, "", err
+		}
+		if err := stk.Deliver(message.NewString(typ)); err != nil {
+			return false, "", err
+		}
+	}
+	env.Sched.RunFor(simtime.Duration(10 * time.Second))
+	return sent+delivered > 0, fmt.Sprintf("sent=%d delivered=%d", sent, delivered), nil
+}
+
+// BenchmarkCampaignSweep measures a full generated fault-matrix sweep,
+// serial vs parallel, proving the worker pool's speedup and that both
+// modes produce identical verdicts.
+func BenchmarkCampaignSweep(b *testing.B) {
+	spec := campaign.Spec{
+		Protocol: "sweep",
+		Types:    []string{"DATA", "ACK", "PING"},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vs, stats, err := campaign.RunParallel(spec, sweepScenario, campaign.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(vs) != 36 {
+					b.Fatalf("got %d verdicts, want 36", len(vs))
+				}
+				if i == 0 {
+					b.ReportMetric(stats.CasesPerSecond, "cases/s")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"pfi/internal/campaign"
+)
+
+func TestParseFaults(t *testing.T) {
+	kinds, err := parseFaults("drop, delay,reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []campaign.FaultKind{campaign.Drop, campaign.Delay, campaign.Reorder}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	if _, err := parseFaults("drop,bogus"); err == nil {
+		t.Error("unknown fault accepted")
+	}
+	if _, err := parseFaults(" , "); err == nil {
+		t.Error("empty fault list accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" A ,B,,C ")
+	if !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestSweepSmoke runs a one-case campaign end to end through the CLI's
+// scenario, exercising the worker pool path.
+func TestSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full GMP cluster")
+	}
+	spec := campaign.Spec{
+		Protocol: "gmp",
+		Types:    []string{"HEARTBEAT"},
+		Faults:   []campaign.FaultKind{campaign.Duplicate},
+	}
+	vs, stats, err := campaign.RunParallel(spec, gmpScenario, campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cases != len(vs) || len(vs) != 2 {
+		t.Fatalf("got %d verdicts, stats %+v", len(vs), stats)
+	}
+	for _, v := range vs {
+		if v.Err != nil {
+			t.Errorf("case %q: %v", v.Case.Name, v.Err)
+		}
+	}
+}

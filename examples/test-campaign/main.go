@@ -8,12 +8,18 @@
 // PFI layer and the cluster is checked for its core promise: the two
 // unfaulted daemons converge to a common view containing them both.
 //
-// Run: go run ./examples/test-campaign
+// The sweep runs twice — serially, then across a worker pool — and prints
+// the speedup, so the example doubles as a smoke benchmark for the
+// parallel campaign engine.
+//
+// Run: go run ./examples/test-campaign [-workers N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pfi/internal/campaign"
@@ -25,13 +31,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for the parallel sweep")
+	flag.Parse()
+	if err := run(*workers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(workers int) error {
 	spec := campaign.Spec{
 		Protocol: "gmp",
 		Types:    []string{"HEARTBEAT", "MEMBERSHIP_CHANGE", "ACK", "COMMIT"},
@@ -47,15 +55,30 @@ func run() error {
 	fmt.Print("  " + cases[0].Script)
 	fmt.Println()
 
-	verdicts, err := campaign.Run(spec, gmpScenario)
+	verdicts, serialStats, err := campaign.Run(spec, gmpScenario)
 	if err != nil {
 		return err
 	}
-	fmt.Print(campaign.Summary(verdicts))
+	fmt.Print(campaign.Summary(verdicts, serialStats))
 	if fails := campaign.Failures(verdicts); len(fails) > 0 {
 		return fmt.Errorf("%d cases broke the healthy-pair invariant", len(fails))
 	}
 	fmt.Println("\nthe healthy pair converged under every generated fault")
+
+	// Sweep again through the worker pool: same verdicts, less wall clock.
+	parallel, parStats, err := campaign.RunParallel(spec, gmpScenario, campaign.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	for i := range parallel {
+		if parallel[i].Case.Name != verdicts[i].Case.Name ||
+			parallel[i].OK != verdicts[i].OK || parallel[i].Note != verdicts[i].Note {
+			return fmt.Errorf("parallel sweep diverged from serial at %q", parallel[i].Case.Name)
+		}
+	}
+	fmt.Printf("\nserial:   %s\nparallel: %s\n", serialStats, parStats)
+	fmt.Printf("speedup with %d workers: %.2fx (identical verdicts)\n",
+		parStats.Workers, serialStats.Elapsed.Seconds()/parStats.Elapsed.Seconds())
 	return nil
 }
 

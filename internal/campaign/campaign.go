@@ -222,26 +222,11 @@ type Verdict struct {
 // and reports whether the protocol behaved acceptably.
 type Scenario func(c Case) (ok bool, note string, err error)
 
-// Run executes every generated case against the scenario and returns the
-// verdicts in generation order.
-func Run(spec Spec, scenario Scenario) ([]Verdict, error) {
-	cases, err := Generate(spec)
-	if err != nil {
-		return nil, err
-	}
-	verdicts := make([]Verdict, 0, len(cases))
-	for _, c := range cases {
-		start := time.Now()
-		ok, note, err := scenario(c)
-		verdicts = append(verdicts, Verdict{
-			Case:    c,
-			OK:      ok,
-			Note:    note,
-			Err:     err,
-			Elapsed: time.Since(start),
-		})
-	}
-	return verdicts, nil
+// Run executes every generated case against the scenario, serially, and
+// returns the verdicts in generation order plus sweep statistics. It is
+// RunParallel with a single worker.
+func Run(spec Spec, scenario Scenario) ([]Verdict, RunStats, error) {
+	return RunParallel(spec, scenario, Options{Workers: 1})
 }
 
 // Failures filters the verdicts that did not hold (or errored).
@@ -255,8 +240,9 @@ func Failures(vs []Verdict) []Verdict {
 	return out
 }
 
-// Summary renders a one-line-per-case report.
-func Summary(vs []Verdict) string {
+// Summary renders a one-line-per-case report. Pass the RunStats returned
+// by Run/RunParallel to append a throughput line.
+func Summary(vs []Verdict, stats ...RunStats) string {
 	var b strings.Builder
 	pass := 0
 	for _, v := range vs {
@@ -272,5 +258,8 @@ func Summary(vs []Verdict) string {
 		fmt.Fprintf(&b, "%-5s %-40s %s\n", status, v.Case.Name, v.Note)
 	}
 	fmt.Fprintf(&b, "%d/%d cases passed\n", pass, len(vs))
+	for _, st := range stats {
+		fmt.Fprintf(&b, "%s\n", st)
+	}
 	return b.String()
 }

@@ -157,7 +157,7 @@ func TestCampaignAgainstGMP(t *testing.T) {
 		return true, g1.String(), nil
 	}
 
-	verdicts, err := campaign.Run(spec, scenario)
+	verdicts, _, err := campaign.Run(spec, scenario)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestCampaignAgainstTPC(t *testing.T) {
 		}
 		return true, fmt.Sprintf("coordinator outcome %v", coord.Outcome(tx)), nil
 	}
-	verdicts, err := campaign.Run(spec, scenario)
+	verdicts, _, err := campaign.Run(spec, scenario)
 	if err != nil {
 		t.Fatal(err)
 	}

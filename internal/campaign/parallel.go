@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Options configures a campaign sweep.
+type Options struct {
+	// Workers is the worker-pool size. Values <= 1 run the sweep serially
+	// in the calling goroutine — exactly the classic Run behavior.
+	Workers int
+	// OnVerdict, when non-nil, observes each verdict as its case completes
+	// (completion order, not generation order — under parallelism cases
+	// finish out of order). Calls are serialized; no locking is needed.
+	OnVerdict func(Verdict)
+	// Context aborts the sweep when canceled: no new cases start, in-flight
+	// cases finish, and the completed verdicts are returned along with the
+	// context's error. Nil means never canceled.
+	Context context.Context
+}
+
+// RunStats summarizes a sweep's outcome and throughput.
+type RunStats struct {
+	// Cases counts completed cases (less than the matrix size if canceled).
+	Cases   int
+	Passed  int
+	Failed  int
+	Errored int
+	// Workers is the pool size the sweep actually used.
+	Workers int
+	// Elapsed is the total wall-clock sweep duration.
+	Elapsed time.Duration
+	// CasesPerSecond is the sweep throughput (Cases / Elapsed).
+	CasesPerSecond float64
+}
+
+// String renders the stats as a one-line report.
+func (s RunStats) String() string {
+	return fmt.Sprintf("swept %d cases in %s (%.1f cases/s, %d worker(s))",
+		s.Cases, s.Elapsed.Round(time.Millisecond), s.CasesPerSecond, s.Workers)
+}
+
+// RunParallel executes every generated case against the scenario, fanning
+// cases out across opts.Workers goroutines. Each case is an independent
+// deterministic simulation (the scenario builds a fresh world per call), so
+// the verdict slice is identical for every worker count; only wall-clock
+// time changes. Verdicts are returned in generation order regardless of
+// completion order.
+func RunParallel(spec Spec, scenario Scenario, opts Options) ([]Verdict, RunStats, error) {
+	cases, err := Generate(spec)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	return runCases(cases, scenario, opts)
+}
+
+func runCases(cases []Case, scenario Scenario, opts Options) ([]Verdict, RunStats, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cases) {
+		workers = max(len(cases), 1)
+	}
+	start := time.Now()
+	verdicts := make([]Verdict, len(cases))
+	done := make([]bool, len(cases))
+
+	runOne := func(i int) Verdict {
+		cs := time.Now()
+		ok, note, err := scenario(cases[i])
+		return Verdict{Case: cases[i], OK: ok, Note: note, Err: err, Elapsed: time.Since(cs)}
+	}
+
+	if workers == 1 {
+		for i := range cases {
+			if err := ctx.Err(); err != nil {
+				return finish(verdicts, done, start, 1, err)
+			}
+			verdicts[i] = runOne(i)
+			done[i] = true
+			if opts.OnVerdict != nil {
+				opts.OnVerdict(verdicts[i])
+			}
+		}
+		return finish(verdicts, done, start, 1, nil)
+	}
+
+	var (
+		mu   sync.Mutex // guards verdicts/done and serializes OnVerdict
+		wg   sync.WaitGroup
+		feed = make(chan int)
+	)
+	go func() {
+		defer close(feed)
+		for i := range cases {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				v := runOne(i)
+				mu.Lock()
+				verdicts[i] = v
+				done[i] = true
+				if opts.OnVerdict != nil {
+					opts.OnVerdict(v)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return finish(verdicts, done, start, workers, ctx.Err())
+}
+
+// finish compacts completed verdicts (preserving generation order) and
+// computes the sweep stats.
+func finish(verdicts []Verdict, done []bool, start time.Time, workers int, err error) ([]Verdict, RunStats, error) {
+	out := make([]Verdict, 0, len(verdicts))
+	for i := range verdicts {
+		if done[i] {
+			out = append(out, verdicts[i])
+		}
+	}
+	stats := RunStats{Cases: len(out), Workers: workers, Elapsed: time.Since(start)}
+	for i := range out {
+		switch {
+		case out[i].Err != nil:
+			stats.Errored++
+		case out[i].OK:
+			stats.Passed++
+		default:
+			stats.Failed++
+		}
+	}
+	if s := stats.Elapsed.Seconds(); s > 0 {
+		stats.CasesPerSecond = float64(stats.Cases) / s
+	}
+	return out, stats, err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -62,7 +62,7 @@ func registerFilterCommands(f *Filter) {
 		if _, err := curOf(f, args[0]); err != nil {
 			return "", err
 		}
-		return f.curInfo.Field(args[1]), nil
+		return f.fieldValue(args[1]), nil
 	})
 
 	in.Register("msg_len", func(_ *script.Interp, args []string) (string, error) {

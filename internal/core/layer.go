@@ -221,14 +221,21 @@ type Filter struct {
 	held     []*message.Message
 	stats    Stats
 
-	// Per-message state, valid only during process().
-	curMsg  *message.Message
-	curInfo Info
-	cur     *verdict
+	// Per-message state, valid only during process(). verdictBuf and
+	// hookCtx are reused across messages — process() is strictly
+	// sequential per filter, so one buffer of each suffices and the
+	// per-message allocations disappear.
+	curMsg      *message.Message
+	curInfo     Info
+	cur         *verdict
+	verdictBuf  verdict
+	hookCtx     HookCtx
+	fieldsReady bool // curInfo.Fields materialized (dst/src merged)
 }
 
 func newFilter(l *Layer, dir Direction) *Filter {
 	f := &Filter{layer: l, dir: dir, interp: script.New()}
+	f.hookCtx = HookCtx{filter: f, Dir: dir}
 	registerFilterCommands(f)
 	return f
 }
@@ -281,22 +288,11 @@ func (f *Filter) process(m *message.Message) error {
 	if err != nil {
 		// An unrecognizable packet is still forwarded — the PFI layer must
 		// be transparent for traffic its stub does not understand.
-		info = Info{Type: "UNRECOGNIZED", Fields: map[string]string{}}
+		info = Info{Type: "UNRECOGNIZED"}
 	}
-	// Surface the network addressing attributes so scripts can filter by
-	// destination ("the messages were dropped based on destination
-	// address", the paper's partition experiment) without stub support.
-	if info.Fields == nil {
-		info.Fields = map[string]string{}
-	}
-	if s, ok := attrString(m, netsim.AttrDst); ok && info.Fields["dst"] == "" {
-		info.Fields["dst"] = s
-	}
-	if s, ok := attrString(m, netsim.AttrSrc); ok && info.Fields["src"] == "" {
-		info.Fields["src"] = s
-	}
-	v := &verdict{}
-	f.curMsg, f.curInfo, f.cur = m, info, v
+	f.verdictBuf = verdict{}
+	f.curMsg, f.curInfo, f.cur = m, info, &f.verdictBuf
+	f.fieldsReady = false
 	defer func() { f.curMsg, f.cur = nil, nil }()
 
 	if f.compiled != nil {
@@ -305,11 +301,55 @@ func (f *Filter) process(m *message.Message) error {
 		}
 	}
 	if f.hook != nil {
-		if err := f.hook(&HookCtx{filter: f, Msg: m, Info: info, Dir: f.dir}); err != nil {
+		// Hooks see the full Fields map (with dst/src merged), so force it.
+		f.materializeFields()
+		f.hookCtx.Msg, f.hookCtx.Info = m, f.curInfo
+		err := f.hook(&f.hookCtx)
+		f.hookCtx.Msg, f.hookCtx.Info = nil, Info{}
+		if err != nil {
 			return fmt.Errorf("core: %s hook on %s: %w", f.dir, f.layer.env.Node, err)
 		}
 	}
-	return f.apply(m, v)
+	return f.apply(m, &f.verdictBuf)
+}
+
+// materializeFields builds curInfo.Fields on first use, surfacing the
+// network addressing attributes so scripts can filter by destination ("the
+// messages were dropped based on destination address", the paper's
+// partition experiment) without stub support. Deferring this skips the map
+// allocation and attr merge for traffic the script never inspects.
+func (f *Filter) materializeFields() {
+	if f.fieldsReady {
+		return
+	}
+	f.fieldsReady = true
+	if f.curInfo.Fields == nil {
+		f.curInfo.Fields = map[string]string{}
+	}
+	if s, ok := attrString(f.curMsg, netsim.AttrDst); ok && f.curInfo.Fields["dst"] == "" {
+		f.curInfo.Fields["dst"] = s
+	}
+	if s, ok := attrString(f.curMsg, netsim.AttrSrc); ok && f.curInfo.Fields["src"] == "" {
+		f.curInfo.Fields["src"] = s
+	}
+}
+
+// fieldValue reads one recognized field without forcing the Fields map:
+// empty dst/src fall back to the message's addressing attributes, exactly
+// the merge materializeFields performs.
+func (f *Filter) fieldValue(name string) string {
+	if v := f.curInfo.Field(name); v != "" {
+		return v
+	}
+	if f.fieldsReady || f.curMsg == nil || (name != "dst" && name != "src") {
+		return ""
+	}
+	key := netsim.AttrSrc
+	if name == "dst" {
+		key = netsim.AttrDst
+	}
+	s, _ := attrString(f.curMsg, key)
+	return s
 }
 
 // holdNow parks the current message on the hold queue immediately (so a

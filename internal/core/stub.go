@@ -60,9 +60,10 @@ type NopStub struct{}
 // Protocol implements Stub.
 func (NopStub) Protocol() string { return "unknown" }
 
-// Recognize implements Stub.
+// Recognize implements Stub. Fields stays nil — the PFI layer materializes
+// a field map only when a script or hook actually reads fields.
 func (NopStub) Recognize(m *message.Message) (Info, error) {
-	return Info{Type: "UNKNOWN", Fields: map[string]string{}}, nil
+	return Info{Type: "UNKNOWN"}, nil
 }
 
 // Generate implements Stub.

@@ -398,14 +398,14 @@ func cmdBreak(in *Interp, args []string) (string, error) {
 	if len(args) != 0 {
 		return "", argErr("break")
 	}
-	return "", &flow{code: flowBreak}
+	return "", flowBreakErr
 }
 
 func cmdContinue(in *Interp, args []string) (string, error) {
 	if len(args) != 0 {
 		return "", argErr("continue")
 	}
-	return "", &flow{code: flowContinue}
+	return "", flowContinueErr
 }
 
 func cmdExpr(in *Interp, args []string) (string, error) {

@@ -121,55 +121,257 @@ func (in *Interp) EvalExprBool(text string) (bool, error) {
 }
 
 func (in *Interp) exprValue(text string) (value, error) {
-	p := &exprParser{in: in, src: text}
-	v, err := p.parseTernary()
+	n, err := in.compileExpr(text)
 	if err != nil {
 		return value{}, err
 	}
+	return n.eval(in)
+}
+
+// compileExpr parses text into an expression tree, memoized in the
+// interpreter's expr cache. Filter guards evaluate on every message but
+// compile only once.
+func (in *Interp) compileExpr(text string) (exprNode, error) {
+	if n, ok := in.exprs.get(text); ok {
+		return n, nil
+	}
+	p := &exprParser{src: text}
+	n, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
 	p.skipSpace()
 	if p.pos < len(p.src) {
-		return value{}, fmt.Errorf("expr: syntax error near %q", p.src[p.pos:])
+		return nil, fmt.Errorf("expr: syntax error near %q", p.src[p.pos:])
 	}
-	return v, nil
+	in.exprs.put(text, n)
+	return n, nil
 }
+
+// ----------------------------------------------------------------------------
+// Expression tree. Compilation syntax-checks the whole expression (including
+// the untaken sides of &&, ||, and ?:); evaluation implements Tcl's lazy
+// semantics by simply not walking untaken subtrees, so their variables,
+// commands, and arithmetic are never touched.
+
+type exprNode interface {
+	eval(in *Interp) (value, error)
+}
+
+type litNode struct{ v value }
+
+func (n *litNode) eval(*Interp) (value, error) { return n.v, nil }
+
+type varNode struct{ name string }
+
+func (n *varNode) eval(in *Interp) (value, error) {
+	v, ok := in.Var(n.name)
+	if !ok {
+		return value{}, fmt.Errorf("can't read %q: no such variable", n.name)
+	}
+	return coerce(v), nil
+}
+
+type cmdNode struct{ body *Script }
+
+func (n *cmdNode) eval(in *Interp) (value, error) {
+	res, err := in.run(n.body)
+	if err != nil {
+		return value{}, err
+	}
+	return coerce(res), nil
+}
+
+// strNode is a quoted operand with substitutions ("v=$v").
+type strNode struct{ w word }
+
+func (n *strNode) eval(in *Interp) (value, error) {
+	s, err := in.expandWord(&n.w)
+	if err != nil {
+		return value{}, err
+	}
+	return strv(s), nil
+}
+
+type ternNode struct{ cond, thenN, elseN exprNode }
+
+func (n *ternNode) eval(in *Interp) (value, error) {
+	c, err := n.cond.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	b, err := c.truth()
+	if err != nil {
+		return value{}, err
+	}
+	if b {
+		return n.thenN.eval(in)
+	}
+	return n.elseN.eval(in)
+}
+
+type andNode struct{ l, r exprNode }
+
+func (n *andNode) eval(in *Interp) (value, error) {
+	lv, err := n.l.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	lb, err := lv.truth()
+	if err != nil {
+		return value{}, err
+	}
+	if !lb {
+		return boolv(false), nil // lazy: right side unevaluated
+	}
+	rv, err := n.r.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	rb, err := rv.truth()
+	if err != nil {
+		return value{}, err
+	}
+	return boolv(rb), nil
+}
+
+type orNode struct{ l, r exprNode }
+
+func (n *orNode) eval(in *Interp) (value, error) {
+	lv, err := n.l.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	lb, err := lv.truth()
+	if err != nil {
+		return value{}, err
+	}
+	if lb {
+		return boolv(true), nil // lazy: right side unevaluated
+	}
+	rv, err := n.r.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	rb, err := rv.truth()
+	if err != nil {
+		return value{}, err
+	}
+	return boolv(rb), nil
+}
+
+// binNode covers arithmetic, bitwise/shift, comparison, and string equality.
+type binNode struct {
+	op   string
+	l, r exprNode
+}
+
+func (n *binNode) eval(in *Interp) (value, error) {
+	a, err := n.l.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	b, err := n.r.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	switch n.op {
+	case "+", "-", "*", "/", "%":
+		return arith(n.op, a, b)
+	case "&", "|", "^", "<<", ">>":
+		return intBinop(n.op, a, b)
+	case "eq":
+		return boolv(a.String() == b.String()), nil
+	case "ne":
+		return boolv(a.String() != b.String()), nil
+	case "==":
+		return boolv(compare(a, b) == 0), nil
+	case "!=":
+		return boolv(compare(a, b) != 0), nil
+	case "<":
+		return boolv(compare(a, b) < 0), nil
+	case ">":
+		return boolv(compare(a, b) > 0), nil
+	case "<=":
+		return boolv(compare(a, b) <= 0), nil
+	case ">=":
+		return boolv(compare(a, b) >= 0), nil
+	}
+	return value{}, fmt.Errorf("expr: unknown operator %q", n.op)
+}
+
+type unaryNode struct {
+	op byte // '+', '-', '!', '~'
+	x  exprNode
+}
+
+func (n *unaryNode) eval(in *Interp) (value, error) {
+	v, err := n.x.eval(in)
+	if err != nil {
+		return value{}, err
+	}
+	switch n.op {
+	case '+':
+		if !v.isNumeric() {
+			if num, ok := parseNumber(v.s); ok {
+				return num, nil
+			}
+			return value{}, fmt.Errorf("expr: unary + on non-number %q", v.s)
+		}
+		return v, nil
+	case '-':
+		switch v.kind {
+		case intVal:
+			return intv(-v.i), nil
+		case floatVal:
+			return floatv(-v.f), nil
+		default:
+			if num, ok := parseNumber(v.s); ok {
+				if num.kind == intVal {
+					return intv(-num.i), nil
+				}
+				return floatv(-num.f), nil
+			}
+			return value{}, fmt.Errorf("expr: unary - on non-number %q", v.s)
+		}
+	case '!':
+		b, err := v.truth()
+		if err != nil {
+			return value{}, err
+		}
+		return boolv(!b), nil
+	default: // '~'
+		if v.kind != intVal {
+			return value{}, fmt.Errorf("expr: ~ requires an integer")
+		}
+		return intv(^v.i), nil
+	}
+}
+
+type funcNode struct {
+	name string
+	args []exprNode
+}
+
+func (n *funcNode) eval(in *Interp) (value, error) {
+	args := make([]value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(in)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	return applyFunc(n.name, args)
+}
+
+// ----------------------------------------------------------------------------
+// Parser. Recursive descent, lowest to highest precedence, producing the
+// tree above. Pure syntax: no interpreter state is consulted.
 
 type exprParser struct {
-	in  *Interp
 	src string
 	pos int
-	// skip parses without evaluating: the untaken side of &&, ||, and ?: is
-	// syntax-checked but variables/commands are not touched and arithmetic
-	// is not performed (Tcl's lazy evaluation).
-	skip bool
-}
-
-// evalArith applies op respecting skip mode.
-func (p *exprParser) evalArith(op string, a, b value) (value, error) {
-	if p.skip {
-		return intv(0), nil
-	}
-	return arith(op, a, b)
-}
-
-func (p *exprParser) evalIntBinop(op string, a, b value) (value, error) {
-	if p.skip {
-		return intv(0), nil
-	}
-	return intBinop(op, a, b)
-}
-
-func (p *exprParser) evalTruth(v value) (bool, error) {
-	if p.skip {
-		return false, nil
-	}
-	return v.truth()
-}
-
-func (p *exprParser) evalCompare(a, b value) int {
-	if p.skip {
-		return 0
-	}
-	return compare(a, b)
 }
 
 func (p *exprParser) skipSpace() {
@@ -207,104 +409,66 @@ func isAlphaOp(op string) bool {
 
 func (p *exprParser) takeOp(op string) { p.pos += len(op) }
 
-// Grammar, lowest to highest precedence.
-
-func (p *exprParser) parseTernary() (value, error) {
+func (p *exprParser) parseTernary() (exprNode, error) {
 	cond, err := p.parseOr()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	if op := p.peekOp("?"); op == "" {
 		return cond, nil
 	}
 	p.takeOp("?")
-	b, err := p.evalTruth(cond)
+	thenN, err := p.parseTernary()
 	if err != nil {
-		return value{}, err
-	}
-	savedSkip := p.skip
-	p.skip = savedSkip || !b
-	thenV, err := p.parseTernary()
-	p.skip = savedSkip
-	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	if op := p.peekOp(":"); op == "" {
-		return value{}, fmt.Errorf("expr: missing ':' in ternary")
+		return nil, fmt.Errorf("expr: missing ':' in ternary")
 	}
 	p.takeOp(":")
-	p.skip = savedSkip || b
-	elseV, err := p.parseTernary()
-	p.skip = savedSkip
+	elseN, err := p.parseTernary()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
-	if b {
-		return thenV, nil
-	}
-	return elseV, nil
+	return &ternNode{cond: cond, thenN: thenN, elseN: elseN}, nil
 }
 
-func (p *exprParser) parseOr() (value, error) {
+func (p *exprParser) parseOr() (exprNode, error) {
 	left, err := p.parseAnd()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for p.peekOp("||") != "" {
 		p.takeOp("||")
-		lb, err := p.evalTruth(left)
-		if err != nil {
-			return value{}, err
-		}
-		savedSkip := p.skip
-		p.skip = savedSkip || lb // lazy: right side unevaluated when left is true
 		right, err := p.parseAnd()
 		if err != nil {
-			p.skip = savedSkip
-			return value{}, err
+			return nil, err
 		}
-		rb, err := p.evalTruth(right)
-		p.skip = savedSkip
-		if err != nil {
-			return value{}, err
-		}
-		left = boolv(lb || rb)
+		left = &orNode{l: left, r: right}
 	}
 	return left, nil
 }
 
-func (p *exprParser) parseAnd() (value, error) {
+func (p *exprParser) parseAnd() (exprNode, error) {
 	left, err := p.parseBitOr()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for p.peekOp("&&") != "" {
 		p.takeOp("&&")
-		lb, err := p.evalTruth(left)
-		if err != nil {
-			return value{}, err
-		}
-		savedSkip := p.skip
-		p.skip = savedSkip || !lb // lazy: right side unevaluated when left is false
 		right, err := p.parseBitOr()
 		if err != nil {
-			p.skip = savedSkip
-			return value{}, err
+			return nil, err
 		}
-		rb, err := p.evalTruth(right)
-		p.skip = savedSkip
-		if err != nil {
-			return value{}, err
-		}
-		left = boolv(lb && rb)
+		left = &andNode{l: left, r: right}
 	}
 	return left, nil
 }
 
-func (p *exprParser) parseBitOr() (value, error) {
+func (p *exprParser) parseBitOr() (exprNode, error) {
 	left, err := p.parseBitXor()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for {
 		p.skipSpace()
@@ -313,41 +477,35 @@ func (p *exprParser) parseBitOr() (value, error) {
 			p.pos++
 			right, err := p.parseBitXor()
 			if err != nil {
-				return value{}, err
+				return nil, err
 			}
-			left, err = p.evalIntBinop("|", left, right)
-			if err != nil {
-				return value{}, err
-			}
+			left = &binNode{op: "|", l: left, r: right}
 			continue
 		}
 		return left, nil
 	}
 }
 
-func (p *exprParser) parseBitXor() (value, error) {
+func (p *exprParser) parseBitXor() (exprNode, error) {
 	left, err := p.parseBitAnd()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for p.peekOp("^") != "" {
 		p.takeOp("^")
 		right, err := p.parseBitAnd()
 		if err != nil {
-			return value{}, err
+			return nil, err
 		}
-		left, err = p.evalIntBinop("^", left, right)
-		if err != nil {
-			return value{}, err
-		}
+		left = &binNode{op: "^", l: left, r: right}
 	}
 	return left, nil
 }
 
-func (p *exprParser) parseBitAnd() (value, error) {
+func (p *exprParser) parseBitAnd() (exprNode, error) {
 	left, err := p.parseEquality()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for {
 		p.skipSpace()
@@ -356,22 +514,19 @@ func (p *exprParser) parseBitAnd() (value, error) {
 			p.pos++
 			right, err := p.parseEquality()
 			if err != nil {
-				return value{}, err
+				return nil, err
 			}
-			left, err = p.evalIntBinop("&", left, right)
-			if err != nil {
-				return value{}, err
-			}
+			left = &binNode{op: "&", l: left, r: right}
 			continue
 		}
 		return left, nil
 	}
 }
 
-func (p *exprParser) parseEquality() (value, error) {
+func (p *exprParser) parseEquality() (exprNode, error) {
 	left, err := p.parseRelational()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for {
 		op := p.peekOp("==", "!=", "eq", "ne")
@@ -381,25 +536,16 @@ func (p *exprParser) parseEquality() (value, error) {
 		p.takeOp(op)
 		right, err := p.parseRelational()
 		if err != nil {
-			return value{}, err
+			return nil, err
 		}
-		switch op {
-		case "eq":
-			left = boolv(left.String() == right.String())
-		case "ne":
-			left = boolv(left.String() != right.String())
-		case "==":
-			left = boolv(p.evalCompare(left, right) == 0)
-		case "!=":
-			left = boolv(p.evalCompare(left, right) != 0)
-		}
+		left = &binNode{op: op, l: left, r: right}
 	}
 }
 
-func (p *exprParser) parseRelational() (value, error) {
+func (p *exprParser) parseRelational() (exprNode, error) {
 	left, err := p.parseShift()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for {
 		op := p.peekOp("<=", ">=", "<", ">")
@@ -413,26 +559,16 @@ func (p *exprParser) parseRelational() (value, error) {
 		p.takeOp(op)
 		right, err := p.parseShift()
 		if err != nil {
-			return value{}, err
+			return nil, err
 		}
-		c := p.evalCompare(left, right)
-		switch op {
-		case "<":
-			left = boolv(c < 0)
-		case ">":
-			left = boolv(c > 0)
-		case "<=":
-			left = boolv(c <= 0)
-		case ">=":
-			left = boolv(c >= 0)
-		}
+		left = &binNode{op: op, l: left, r: right}
 	}
 }
 
-func (p *exprParser) parseShift() (value, error) {
+func (p *exprParser) parseShift() (exprNode, error) {
 	left, err := p.parseAdditive()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for {
 		op := p.peekOp("<<", ">>")
@@ -442,19 +578,16 @@ func (p *exprParser) parseShift() (value, error) {
 		p.takeOp(op)
 		right, err := p.parseAdditive()
 		if err != nil {
-			return value{}, err
+			return nil, err
 		}
-		left, err = p.evalIntBinop(op, left, right)
-		if err != nil {
-			return value{}, err
-		}
+		left = &binNode{op: op, l: left, r: right}
 	}
 }
 
-func (p *exprParser) parseAdditive() (value, error) {
+func (p *exprParser) parseAdditive() (exprNode, error) {
 	left, err := p.parseMultiplicative()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for {
 		op := p.peekOp("+", "-")
@@ -464,19 +597,16 @@ func (p *exprParser) parseAdditive() (value, error) {
 		p.takeOp(op)
 		right, err := p.parseMultiplicative()
 		if err != nil {
-			return value{}, err
+			return nil, err
 		}
-		left, err = p.evalArith(op, left, right)
-		if err != nil {
-			return value{}, err
-		}
+		left = &binNode{op: op, l: left, r: right}
 	}
 }
 
-func (p *exprParser) parseMultiplicative() (value, error) {
+func (p *exprParser) parseMultiplicative() (exprNode, error) {
 	left, err := p.parseUnary()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	for {
 		op := p.peekOp("*", "/", "%")
@@ -486,90 +616,43 @@ func (p *exprParser) parseMultiplicative() (value, error) {
 		p.takeOp(op)
 		right, err := p.parseUnary()
 		if err != nil {
-			return value{}, err
+			return nil, err
 		}
-		left, err = p.evalArith(op, left, right)
-		if err != nil {
-			return value{}, err
-		}
+		left = &binNode{op: op, l: left, r: right}
 	}
 }
 
-func (p *exprParser) parseUnary() (value, error) {
+func (p *exprParser) parseUnary() (exprNode, error) {
 	op := p.peekOp("-", "+", "!", "~")
 	if op == "" {
 		return p.parsePrimary()
 	}
 	p.takeOp(op)
-	v, err := p.parseUnary()
+	x, err := p.parseUnary()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
-	switch op {
-	case "+":
-		if !v.isNumeric() {
-			if n, ok := parseNumber(v.s); ok {
-				return n, nil
-			}
-			if p.skip {
-				return intv(0), nil
-			}
-			return value{}, fmt.Errorf("expr: unary + on non-number %q", v.s)
-		}
-		return v, nil
-	case "-":
-		switch v.kind {
-		case intVal:
-			return intv(-v.i), nil
-		case floatVal:
-			return floatv(-v.f), nil
-		default:
-			if n, ok := parseNumber(v.s); ok {
-				if n.kind == intVal {
-					return intv(-n.i), nil
-				}
-				return floatv(-n.f), nil
-			}
-			if p.skip {
-				return intv(0), nil
-			}
-			return value{}, fmt.Errorf("expr: unary - on non-number %q", v.s)
-		}
-	case "!":
-		b, err := p.evalTruth(v)
-		if err != nil {
-			return value{}, err
-		}
-		return boolv(!b), nil
-	default: // "~"
-		if v.kind != intVal {
-			if p.skip {
-				return intv(0), nil
-			}
-			return value{}, fmt.Errorf("expr: ~ requires an integer")
-		}
-		return intv(^v.i), nil
-	}
+	return &unaryNode{op: op[0], x: x}, nil
 }
 
-func (p *exprParser) parsePrimary() (value, error) {
+func (p *exprParser) parsePrimary() (exprNode, error) {
 	p.skipSpace()
 	if p.pos >= len(p.src) {
-		return value{}, fmt.Errorf("expr: unexpected end of expression")
+		return nil, fmt.Errorf("expr: unexpected end of expression")
 	}
 	c := p.src[p.pos]
 	switch {
 	case c == '(':
 		p.pos++
-		v, err := p.parseTernary()
+		n, err := p.parseTernary()
 		if err != nil {
-			return value{}, err
+			return nil, err
 		}
 		if p.peekOp(")") == "" {
-			return value{}, fmt.Errorf("expr: missing close parenthesis")
+			return nil, fmt.Errorf("expr: missing close parenthesis")
 		}
 		p.takeOp(")")
-		return v, nil
+		return n, nil
 	case c == '$':
 		return p.parseVarOperand()
 	case c == '[':
@@ -583,77 +666,70 @@ func (p *exprParser) parsePrimary() (value, error) {
 	case isVarNameChar(c):
 		return p.parseFuncOrWord()
 	default:
-		return value{}, fmt.Errorf("expr: unexpected character %q", c)
+		return nil, fmt.Errorf("expr: unexpected character %q", c)
 	}
 }
 
-func (p *exprParser) parseVarOperand() (value, error) {
+func (p *exprParser) parseVarOperand() (exprNode, error) {
 	sub := &parser{src: p.src, pos: p.pos, line: 1}
 	seg, ok, err := sub.parseVarRef()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	if !ok {
-		return value{}, fmt.Errorf("expr: lone '$'")
+		return nil, fmt.Errorf("expr: lone '$'")
 	}
 	p.pos = sub.pos
-	if p.skip {
-		return intv(0), nil
-	}
-	v, found := p.in.Var(seg.text)
-	if !found {
-		return value{}, fmt.Errorf("can't read %q: no such variable", seg.text)
-	}
-	return coerce(v), nil
+	return &varNode{name: seg.text}, nil
 }
 
-func (p *exprParser) parseCmdOperand() (value, error) {
+func (p *exprParser) parseCmdOperand() (exprNode, error) {
 	sub := &parser{src: p.src, pos: p.pos + 1, line: 1}
 	cmds, err := sub.parseCommands(bracketEnd)
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
-	if p.skip {
-		p.pos = sub.pos
-		return intv(0), nil
-	}
-	res, err := p.in.run(&Script{src: p.src[p.pos:sub.pos], cmds: cmds})
-	if err != nil {
-		return value{}, err
-	}
+	body := &Script{src: p.src[p.pos:sub.pos], cmds: cmds}
 	p.pos = sub.pos
-	return coerce(res), nil
+	return &cmdNode{body: body}, nil
 }
 
-func (p *exprParser) parseStringOperand() (value, error) {
+func (p *exprParser) parseStringOperand() (exprNode, error) {
 	sub := &parser{src: p.src, pos: p.pos, line: 1}
 	segs, err := sub.parseQuoted()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	p.pos = sub.pos
-	if p.skip {
-		return strv(""), nil
+	// A quoted operand without substitutions is a constant.
+	allLit := true
+	for i := range segs {
+		if segs[i].kind != segLiteral {
+			allLit = false
+			break
+		}
 	}
-	w := word{segs: segs}
-	s, err := p.in.expandWord(&w)
-	if err != nil {
-		return value{}, err
+	if allLit {
+		var b strings.Builder
+		for i := range segs {
+			b.WriteString(segs[i].text)
+		}
+		return &litNode{v: strv(b.String())}, nil
 	}
-	return strv(s), nil
+	return &strNode{w: word{segs: segs}}, nil
 }
 
-func (p *exprParser) parseBracedOperand() (value, error) {
+func (p *exprParser) parseBracedOperand() (exprNode, error) {
 	sub := &parser{src: p.src, pos: p.pos, line: 1}
 	text, err := sub.parseBraced()
 	if err != nil {
-		return value{}, err
+		return nil, err
 	}
 	p.pos = sub.pos
-	return strv(text), nil
+	return &litNode{v: strv(text)}, nil
 }
 
-func (p *exprParser) parseNumberOperand() (value, error) {
+func (p *exprParser) parseNumberOperand() (exprNode, error) {
 	start := p.pos
 	seenDot, seenExp := false, false
 	if strings.HasPrefix(p.src[p.pos:], "0x") || strings.HasPrefix(p.src[p.pos:], "0X") {
@@ -663,9 +739,9 @@ func (p *exprParser) parseNumberOperand() (value, error) {
 		}
 		i, err := strconv.ParseInt(p.src[start:p.pos], 0, 64)
 		if err != nil {
-			return value{}, fmt.Errorf("expr: bad hex literal %q", p.src[start:p.pos])
+			return nil, fmt.Errorf("expr: bad hex literal %q", p.src[start:p.pos])
 		}
-		return intv(i), nil
+		return &litNode{v: intv(i)}, nil
 	}
 	for p.pos < len(p.src) {
 		c := p.src[p.pos]
@@ -690,19 +766,19 @@ done:
 	if !seenDot && !seenExp {
 		i, err := strconv.ParseInt(text, 10, 64)
 		if err != nil {
-			return value{}, fmt.Errorf("expr: bad integer literal %q", text)
+			return nil, fmt.Errorf("expr: bad integer literal %q", text)
 		}
-		return intv(i), nil
+		return &litNode{v: intv(i)}, nil
 	}
 	f, err := strconv.ParseFloat(text, 64)
 	if err != nil {
-		return value{}, fmt.Errorf("expr: bad float literal %q", text)
+		return nil, fmt.Errorf("expr: bad float literal %q", text)
 	}
-	return floatv(f), nil
+	return &litNode{v: floatv(f)}, nil
 }
 
 // parseFuncOrWord handles math functions and the bareword booleans.
-func (p *exprParser) parseFuncOrWord() (value, error) {
+func (p *exprParser) parseFuncOrWord() (exprNode, error) {
 	start := p.pos
 	for p.pos < len(p.src) && isVarNameChar(p.src[p.pos]) {
 		p.pos++
@@ -714,29 +790,32 @@ func (p *exprParser) parseFuncOrWord() (value, error) {
 	}
 	switch strings.ToLower(name) {
 	case "true", "yes", "on":
-		return boolv(true), nil
+		return &litNode{v: boolv(true)}, nil
 	case "false", "no", "off":
-		return boolv(false), nil
+		return &litNode{v: boolv(false)}, nil
 	}
-	return value{}, fmt.Errorf("expr: unknown operand %q", name)
+	return nil, fmt.Errorf("expr: unknown operand %q", name)
 }
 
-func (p *exprParser) parseFuncCall(name string) (value, error) {
+func (p *exprParser) parseFuncCall(name string) (exprNode, error) {
+	if _, known := knownFuncs[name]; !known {
+		return nil, fmt.Errorf("expr: unknown function %q", name)
+	}
 	p.pos++ // consume '('
-	var args []value
+	var args []exprNode
 	p.skipSpace()
 	if p.pos < len(p.src) && p.src[p.pos] == ')' {
 		p.pos++
 	} else {
 		for {
-			v, err := p.parseTernary()
+			n, err := p.parseTernary()
 			if err != nil {
-				return value{}, err
+				return nil, err
 			}
-			args = append(args, v)
+			args = append(args, n)
 			p.skipSpace()
 			if p.pos >= len(p.src) {
-				return value{}, fmt.Errorf("expr: missing ')' in %s()", name)
+				return nil, fmt.Errorf("expr: missing ')' in %s()", name)
 			}
 			if p.src[p.pos] == ',' {
 				p.pos++
@@ -746,19 +825,14 @@ func (p *exprParser) parseFuncCall(name string) (value, error) {
 				p.pos++
 				break
 			}
-			return value{}, fmt.Errorf("expr: bad character %q in %s()", p.src[p.pos], name)
+			return nil, fmt.Errorf("expr: bad character %q in %s()", p.src[p.pos], name)
 		}
 	}
-	if p.skip {
-		if _, known := knownFuncs[name]; !known {
-			return value{}, fmt.Errorf("expr: unknown function %q", name)
-		}
-		return intv(0), nil
-	}
-	return applyFunc(name, args)
+	return &funcNode{name: name, args: args}, nil
 }
 
-// knownFuncs lists the math functions, for syntax checking in skip mode.
+// knownFuncs lists the math functions, checked at compile time so an
+// unknown function errors even inside a never-taken branch.
 var knownFuncs = map[string]struct{}{
 	"abs": {}, "int": {}, "double": {}, "round": {}, "floor": {}, "ceil": {},
 	"sqrt": {}, "exp": {}, "log": {}, "log10": {}, "sin": {}, "cos": {},

@@ -39,6 +39,13 @@ func (f *flow) Error() string {
 	}
 }
 
+// break and continue carry no payload, so every loop iteration can share
+// one immutable instance instead of allocating.
+var (
+	flowBreakErr    = &flow{code: flowBreak}
+	flowContinueErr = &flow{code: flowContinue}
+)
+
 // EvalError is a script runtime error, annotated with the failing command.
 type EvalError struct {
 	Cmd  string // command name that raised the error
@@ -86,11 +93,13 @@ type Interp struct {
 	frames   []*frame // call stack; frames[0] == global
 	commands map[string]Command
 	procs    map[string]*proc
-	cache    map[string]*Script // parse cache for control-flow bodies
-	out      io.Writer          // destination for puts
-	steps    int                // commands executed since limit reset
-	maxSteps int                // 0 = unlimited
-	depth    int                // proc/eval recursion depth
+	scripts  *srcCache[*Script]  // parse cache for control-flow bodies
+	exprs    *srcCache[exprNode] // compile cache for expr conditions
+	wordBufs [][]string          // scratch buffers for expandCommand
+	out      io.Writer           // destination for puts
+	steps    int                 // commands executed since limit reset
+	maxSteps int                 // 0 = unlimited
+	depth    int                 // proc/eval recursion depth
 }
 
 const maxDepth = 200
@@ -104,7 +113,8 @@ func New() *Interp {
 		frames:   []*frame{g},
 		commands: make(map[string]Command),
 		procs:    make(map[string]*proc),
-		cache:    make(map[string]*Script),
+		scripts:  newSrcCache[*Script](4096),
+		exprs:    newSrcCache[exprNode](4096),
 		out:      io.Discard,
 		maxSteps: 5_000_000,
 	}
@@ -239,19 +249,19 @@ func (in *Interp) Run(s *Script) (string, error) {
 }
 
 // compile parses src, memoizing results so control-flow bodies evaluated
-// every message parse only once.
+// every message parse only once. The cache is keyed by pointer identity
+// first (bodies are substrings of one parsed script, so repeated messages
+// present the same backing array) and evicts LRU-half when full, so hot
+// filter bodies survive long campaigns.
 func (in *Interp) compile(src string) (*Script, error) {
-	if s, ok := in.cache[src]; ok {
+	if s, ok := in.scripts.get(src); ok {
 		return s, nil
 	}
 	s, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	if len(in.cache) > 4096 {
-		in.cache = make(map[string]*Script) // crude bound; scripts are few
-	}
-	in.cache[src] = s
+	in.scripts.put(src, s)
 	return s, nil
 }
 
@@ -271,9 +281,11 @@ func (in *Interp) run(s *Script) (string, error) {
 			return "", err
 		}
 		if len(words) == 0 {
+			in.putWords(words)
 			continue
 		}
 		result, err = in.invoke(words, cmd.line)
+		in.putWords(words)
 		if err != nil {
 			return "", err
 		}
@@ -282,16 +294,46 @@ func (in *Interp) run(s *Script) (string, error) {
 }
 
 // expandCommand substitutes each word of cmd into its final string form.
+// The returned slice comes from the interpreter's scratch pool; run returns
+// it via putWords after invoke. Commands must not retain it past the call —
+// the Command contract already says args are only valid for the call.
 func (in *Interp) expandCommand(cmd *command) ([]string, error) {
-	words := make([]string, 0, len(cmd.words))
+	words := in.getWords(len(cmd.words))
 	for i := range cmd.words {
 		w, err := in.expandWord(&cmd.words[i])
 		if err != nil {
+			in.putWords(words)
 			return nil, err
 		}
 		words = append(words, w)
 	}
 	return words, nil
+}
+
+// getWords pops a scratch buffer from the pool (or allocates one). Nested
+// evaluation ([cmd] substitution, proc bodies) pops deeper buffers while
+// outer ones are in use, so stack discipline keeps reuse safe.
+func (in *Interp) getWords(capHint int) []string {
+	if n := len(in.wordBufs); n > 0 {
+		buf := in.wordBufs[n-1]
+		in.wordBufs = in.wordBufs[:n-1]
+		return buf[:0]
+	}
+	if capHint < 8 {
+		capHint = 8
+	}
+	return make([]string, 0, capHint)
+}
+
+func (in *Interp) putWords(buf []string) {
+	if cap(buf) == 0 || len(in.wordBufs) >= 32 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = "" // release string references
+	}
+	in.wordBufs = append(in.wordBufs, buf[:0])
 }
 
 func (in *Interp) expandWord(w *word) (string, error) {
