@@ -1,10 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench conformance fuzz goldens
 
-# check is the full PR gate: vet, build, race-enabled tests, and a
-# one-iteration pass over every benchmark so the perf suite always compiles.
-check: vet build race bench
+# check is the full PR gate: vet, build, race-enabled tests (the parallel
+# conformance runner and campaign pool run under -race via ./...), an
+# explicit conformance pass, a short fuzz smoke over the script language,
+# and a one-iteration pass over every benchmark so the perf suite always
+# compiles.
+check: vet build race conformance fuzz bench
 
 vet:
 	$(GO) vet ./...
@@ -20,3 +23,22 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run @ ./...
+
+# conformance replays every .pfi scenario against its golden trace, serial
+# and through the worker pool.
+conformance:
+	$(GO) test -run Conformance ./internal/conformance/ ./cmd/pfitest/
+
+# fuzz gives each native fuzz target a 10-second smoke. Corpus findings are
+# written to testdata/fuzz as usual; run longer locally when touching the
+# script parser.
+fuzz:
+	$(GO) test -run @ -fuzz 'FuzzParse$$' -fuzztime 10s ./internal/script/
+	$(GO) test -run @ -fuzz 'FuzzEval$$' -fuzztime 10s ./internal/script/
+	$(GO) test -run @ -fuzz 'FuzzEvalExpr$$' -fuzztime 10s ./internal/script/
+
+# goldens re-blesses every pinned artifact: conformance traces and rendered
+# experiment tables. Inspect the diff before committing.
+goldens:
+	$(GO) run ./cmd/pfitest -update
+	$(GO) test -run Golden -update ./internal/exp/

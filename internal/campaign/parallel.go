@@ -58,49 +58,64 @@ func RunParallel(spec Spec, scenario Scenario, opts Options) ([]Verdict, RunStat
 }
 
 func runCases(cases []Case, scenario Scenario, opts Options) ([]Verdict, RunStats, error) {
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(cases) {
-		workers = max(len(cases), 1)
-	}
+	workers := poolSize(opts.Workers, len(cases))
 	start := time.Now()
 	verdicts := make([]Verdict, len(cases))
 	done := make([]bool, len(cases))
 
-	runOne := func(i int) Verdict {
+	var mu sync.Mutex // guards verdicts/done and serializes OnVerdict
+	err := ForEach(opts.Context, workers, len(cases), func(i int) {
 		cs := time.Now()
 		ok, note, err := scenario(cases[i])
-		return Verdict{Case: cases[i], OK: ok, Note: note, Err: err, Elapsed: time.Since(cs)}
-	}
-
-	if workers == 1 {
-		for i := range cases {
-			if err := ctx.Err(); err != nil {
-				return finish(verdicts, done, start, 1, err)
-			}
-			verdicts[i] = runOne(i)
-			done[i] = true
-			if opts.OnVerdict != nil {
-				opts.OnVerdict(verdicts[i])
-			}
+		v := Verdict{Case: cases[i], OK: ok, Note: note, Err: err, Elapsed: time.Since(cs)}
+		mu.Lock()
+		verdicts[i] = v
+		done[i] = true
+		if opts.OnVerdict != nil {
+			opts.OnVerdict(v)
 		}
-		return finish(verdicts, done, start, 1, nil)
-	}
+		mu.Unlock()
+	})
+	return finish(verdicts, done, start, workers, err)
+}
 
-	var (
-		mu   sync.Mutex // guards verdicts/done and serializes OnVerdict
-		wg   sync.WaitGroup
-		feed = make(chan int)
-	)
+// poolSize clamps a requested worker count to [1, n].
+func poolSize(workers, n int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = max(n, 1)
+	}
+	return workers
+}
+
+// ForEach is the campaign worker pool, exported for other sweep-shaped
+// workloads (the conformance runner fans scenarios out through it). It runs
+// fn(0..n-1) across workers goroutines and returns when every started call
+// has finished. A canceled context stops new indices from being handed out
+// (in-flight calls complete) and is returned as the error. fn is responsible
+// for its own synchronization; with workers <= 1 every call happens in the
+// calling goroutine, in order.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = poolSize(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	feed := make(chan int)
 	go func() {
 		defer close(feed)
-		for i := range cases {
+		for i := 0; i < n; i++ {
 			select {
 			case feed <- i:
 			case <-ctx.Done():
@@ -113,19 +128,12 @@ func runCases(cases []Case, scenario Scenario, opts Options) ([]Verdict, RunStat
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				v := runOne(i)
-				mu.Lock()
-				verdicts[i] = v
-				done[i] = true
-				if opts.OnVerdict != nil {
-					opts.OnVerdict(v)
-				}
-				mu.Unlock()
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return finish(verdicts, done, start, workers, ctx.Err())
+	return ctx.Err()
 }
 
 // finish compacts completed verdicts (preserving generation order) and

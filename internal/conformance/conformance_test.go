@@ -1,0 +1,245 @@
+package conformance
+
+import (
+	"flag"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pfi/internal/tcp"
+	"pfi/internal/trace"
+)
+
+var update = flag.Bool("update", false, "re-bless the golden traces")
+
+const (
+	scenarioDir = "testdata"
+	goldenDir   = "testdata/golden"
+)
+
+func loadAll(t *testing.T) []*Scenario {
+	t.Helper()
+	scs, err := LoadDir(scenarioDir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(scs) < 7 {
+		t.Fatalf("expected the 5 TCP + 2 GMP scenarios, found %d", len(scs))
+	}
+	return scs
+}
+
+// requireOK fails the test with every broken verdict spelled out.
+func requireOK(t *testing.T, r *Result) {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("%s: %v", r.Scenario, r.Err)
+	}
+	for _, v := range r.Failed() {
+		t.Errorf("%s: %s", r.Scenario, v)
+	}
+}
+
+// checkGolden compares (or, with -update, re-blesses) a result's trace.
+func checkGolden(t *testing.T, r *Result) {
+	t.Helper()
+	if *update {
+		if err := UpdateGolden(goldenDir, r); err != nil {
+			t.Fatalf("%s: %v", r.Scenario, err)
+		}
+		return
+	}
+	diffs, err := CheckGolden(goldenDir, r)
+	if err != nil {
+		t.Fatalf("%s: %v", r.Scenario, err)
+	}
+	for _, d := range diffs {
+		t.Errorf("%s: golden: %s", r.Scenario, d)
+	}
+}
+
+// TestConformanceScenarios replays every scenario under the default profile
+// and pins each trace to its golden.
+func TestConformanceScenarios(t *testing.T) {
+	for _, sc := range loadAll(t) {
+		t.Run(sc.Name, func(t *testing.T) {
+			r := Run(sc, Options{})
+			requireOK(t, r)
+			checkGolden(t, r)
+		})
+	}
+}
+
+// TestConformanceAllProfiles replays the TCP scenarios under the other three
+// vendor profiles — the per-vendor goldens catch drift in any profile's
+// behaviour, not just the default's.
+func TestConformanceAllProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-profile coverage only in -short mode")
+	}
+	scs := Filter(loadAll(t), func(name string) bool {
+		return strings.HasPrefix(name, "tcp_")
+	})
+	for _, prof := range tcp.Profiles() {
+		if prof.Name == tcp.SunOS413().Name {
+			continue // covered by TestConformanceScenarios
+		}
+		t.Run(profileSlug(prof.Name), func(t *testing.T) {
+			for _, r := range RunAll(scs, Options{Profile: prof, Workers: 4}) {
+				requireOK(t, r)
+				checkGolden(t, r)
+			}
+		})
+	}
+}
+
+// TestConformanceParallelMatchesSerial is the determinism gate for the
+// worker pool: fanning scenarios across eight workers must yield verdicts
+// and traces identical to the serial run.
+func TestConformanceParallelMatchesSerial(t *testing.T) {
+	scs := loadAll(t)
+	serial := RunAll(scs, Options{Workers: 1})
+	parallel := RunAll(scs, Options{Workers: 8})
+	if len(serial) != len(parallel) {
+		t.Fatalf("result count: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Scenario != p.Scenario {
+			t.Fatalf("order diverged at %d: %q vs %q", i, s.Scenario, p.Scenario)
+		}
+		if !reflect.DeepEqual(s.Verdicts, p.Verdicts) {
+			t.Errorf("%s: verdicts diverge between 1 and 8 workers:\nserial:   %v\nparallel: %v",
+				s.Scenario, s.Verdicts, p.Verdicts)
+		}
+		if d := trace.Diff(s.Trace, p.Trace, 5); len(d) > 0 {
+			t.Errorf("%s: trace diverges between 1 and 8 workers: %v", s.Scenario, d)
+		}
+	}
+}
+
+// TestPerturbedTimerFailsGolden is the suite's own smoke detector: a
+// deliberately perturbed retransmission timer must change the pinned trace.
+// If this test fails, the goldens have lost their discriminating power.
+func TestPerturbedTimerFailsGolden(t *testing.T) {
+	if *update {
+		t.Skip("meaningless while re-blessing goldens")
+	}
+	sc, err := Load("testdata/tcp_retransmission" + Ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := tcp.SunOS413()
+	prof.RTOMin *= 2 // the bug a golden must catch
+	r := Run(sc, Options{Profile: prof})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	diffs, err := CheckGolden(goldenDir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("perturbed RTOMin produced a trace identical to the golden; the golden is not sensitive to retransmission timing")
+	}
+}
+
+// TestScenarioErrorsAreStructured: a failing expect is a verdict, not an
+// execution error, and an unknown command is an error, not a verdict.
+func TestScenarioErrorsAreStructured(t *testing.T) {
+	r := Run(New("inline", `
+		world tcp
+		tcp_dial
+		run 1s
+		expect vendor retransmit DATA min 99
+	`), Options{})
+	if r.Err != nil {
+		t.Fatalf("unexpected execution error: %v", r.Err)
+	}
+	if len(r.Verdicts) != 1 || r.Verdicts[0].OK {
+		t.Fatalf("want one failing verdict, got %v", r.Verdicts)
+	}
+	if !strings.Contains(r.Verdicts[0].String(), "FAIL") {
+		t.Errorf("verdict should render as FAIL: %s", r.Verdicts[0])
+	}
+
+	r = Run(New("inline", "definitely_not_a_command"), Options{})
+	if r.Err == nil {
+		t.Fatal("unknown command should be an execution error")
+	}
+}
+
+// TestWorldGuards: workload commands demand the right world kind.
+func TestWorldGuards(t *testing.T) {
+	for _, src := range []string{
+		"tcp_dial",                        // no world at all
+		"world gmp a b c\ntcp_dial",       // tcp command in a gmp world
+		"world tcp\ngmp_start",            // gmp command in a tcp world
+		"world tcp\nworld tcp",            // double declaration
+		"world tcp no-such-vendor",        // unknown profile
+		"world gmp a b c bugs {made-up}",  // unknown bug
+		"world tcp\ninject nobody send X", // unknown node
+	} {
+		if r := Run(New("inline", src), Options{}); r.Err == nil {
+			t.Errorf("script %q should fail", src)
+		}
+	}
+}
+
+// TestProfileSelection covers the forgiving profile matcher.
+func TestProfileSelection(t *testing.T) {
+	h := newHarness(tcp.SunOS413())
+	for name, want := range map[string]string{
+		"":            "SunOS 4.1.3",
+		"default":     "SunOS 4.1.3",
+		"solaris":     "Solaris 2.3",
+		"AIX-3.2.3":   "AIX 3.2.3",
+		"next":        "NeXT Mach",
+		"SunOS 4.1.3": "SunOS 4.1.3",
+	} {
+		p, err := h.profileByName(name)
+		if err != nil {
+			t.Errorf("profileByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name != want {
+			t.Errorf("profileByName(%q) = %q, want %q", name, p.Name, want)
+		}
+	}
+	if _, err := h.profileByName("hp-ux"); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestParseDur(t *testing.T) {
+	for s, want := range map[string]string{
+		"500ms": "500ms",
+		"30s":   "30s",
+		"2m":    "2m0s",
+		"1500":  "1.5s", // bare milliseconds
+		"0":     "0s",
+	} {
+		d, err := parseDur(s)
+		if err != nil {
+			t.Errorf("parseDur(%q): %v", s, err)
+			continue
+		}
+		if d.String() != want {
+			t.Errorf("parseDur(%q) = %v, want %v", s, d, want)
+		}
+	}
+	if _, err := parseDur("soon"); err == nil {
+		t.Error(`parseDur("soon") should error`)
+	}
+}
+
+func TestGoldenPathNaming(t *testing.T) {
+	tcpRes := &Result{Scenario: "tcp_retransmission", World: "SunOS 4.1.3"}
+	if got := GoldenPath("g", tcpRes); got != "g/tcp_retransmission@sunos-4-1-3.trace" {
+		t.Errorf("tcp golden path = %q", got)
+	}
+	gmpRes := &Result{Scenario: "gmp_partition_heal", World: "gmp"}
+	if got := GoldenPath("g", gmpRes); got != "g/gmp_partition_heal.trace" {
+		t.Errorf("gmp golden path = %q", got)
+	}
+}

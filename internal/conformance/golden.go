@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pfi/internal/trace"
+)
+
+// GoldenExt is the pinned-trace file extension.
+const GoldenExt = ".trace"
+
+// profileSlug turns a vendor profile name into a filename-safe slug:
+// "SunOS 4.1.3" -> "sunos-4-1-3".
+func profileSlug(name string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// GoldenPath returns where a result's pinned trace lives. TCP scenarios are
+// keyed by vendor profile too — the same scenario legitimately produces
+// different traces per vendor — while GMP scenarios have one golden each.
+func GoldenPath(dir string, r *Result) string {
+	name := r.Scenario
+	if r.World != "" && r.World != "gmp" {
+		name += "@" + profileSlug(r.World)
+	}
+	return filepath.Join(dir, name+GoldenExt)
+}
+
+// CheckGolden compares a result's trace with its pinned golden.
+// The returned diffs are empty when the traces match. A missing golden file
+// is an error (run with -update to bless the first trace).
+func CheckGolden(dir string, r *Result) ([]string, error) {
+	path := GoldenPath(dir, r)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("conformance: no golden %s (re-run with -update to create it)", path)
+		}
+		return nil, fmt.Errorf("conformance: %w", err)
+	}
+	defer f.Close()
+	want, err := trace.ParseCanonical(f)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	return trace.Diff(want, r.Trace, 20), nil
+}
+
+// UpdateGolden (re-)blesses a result's trace as the golden, creating dir if
+// needed. The file is written atomically so a crashed -update run cannot
+// leave a truncated golden behind.
+func UpdateGolden(dir string, r *Result) error {
+	path := GoldenPath(dir, r)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("conformance: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCanonical(&buf, r.Trace); err != nil {
+		return fmt.Errorf("conformance: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("conformance: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("conformance: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package conformance
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pfi/internal/core"
+	"pfi/internal/exp"
+	"pfi/internal/gmp"
+	"pfi/internal/netsim"
+	"pfi/internal/simtime"
+	"pfi/internal/tcp"
+	"pfi/internal/trace"
+)
+
+// Verdict is the structured outcome of one checked scenario step (expect,
+// expect_none, assert).
+type Verdict struct {
+	// Step is the command as executed, e.g. "expect vendor retransmit DATA min 10".
+	Step string
+	// OK reports whether the check held.
+	OK bool
+	// At is the virtual time the check ran.
+	At simtime.Time
+	// Want and Got describe the criterion and the observation.
+	Want string
+	Got  string
+}
+
+// String renders one verdict line.
+func (v Verdict) String() string {
+	status := "PASS"
+	if !v.OK {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%-4s @%-10s %s", status, v.At, v.Step)
+	if !v.OK {
+		s += fmt.Sprintf("  (want %s, got %s)", v.Want, v.Got)
+	}
+	return s
+}
+
+// harness is the mutable world state behind one scenario run. It is built
+// lazily by the `world` command and torn down with the run.
+type harness struct {
+	defaultProf tcp.Profile
+	tol         time.Duration // default timing tolerance for expect at/within
+
+	kind string // "", "tcp", or "gmp"
+	w    *netsim.World
+	log  *trace.Log
+	pfis map[string]*core.Layer
+
+	// tcp world state
+	prof   tcp.Profile
+	rig    *exp.TCPRig
+	conn   *tcp.Conn // client (vendor) connection
+	server *tcp.Conn // accepted (xkernel) connection
+	sent   []byte    // bytes pushed through tcp_send/tcp_stream
+	recv   []byte    // bytes the server delivered to the application
+
+	// gmp world state
+	gr *exp.GMPRig
+
+	verdicts []Verdict
+}
+
+func newHarness(defaultProf tcp.Profile) *harness {
+	return &harness{
+		defaultProf: defaultProf,
+		tol:         500 * time.Millisecond,
+		pfis:        map[string]*core.Layer{},
+	}
+}
+
+func (h *harness) needWorld() error {
+	if h.kind == "" {
+		return fmt.Errorf("no world: declare one with `world tcp` or `world gmp <nodes>` first")
+	}
+	return nil
+}
+
+func (h *harness) needTCP() error {
+	if h.kind != "tcp" {
+		return fmt.Errorf("command needs a tcp world (current: %q)", h.kind)
+	}
+	return nil
+}
+
+func (h *harness) needConn() error {
+	if err := h.needTCP(); err != nil {
+		return err
+	}
+	if h.conn == nil {
+		return fmt.Errorf("no connection: run tcp_dial first")
+	}
+	return nil
+}
+
+func (h *harness) needGMP() error {
+	if h.kind != "gmp" {
+		return fmt.Errorf("command needs a gmp world (current: %q)", h.kind)
+	}
+	return nil
+}
+
+// buildTCP constructs the two-machine TCP world.
+func (h *harness) buildTCP(prof tcp.Profile) error {
+	rig, err := exp.NewTCPRig(prof)
+	if err != nil {
+		return err
+	}
+	h.kind, h.prof, h.rig = "tcp", prof, rig
+	h.w, h.log = rig.W, rig.Log
+	h.pfis["vendor"] = rig.Vendor.PFI
+	h.pfis["xkernel"] = rig.XK.PFI
+	return nil
+}
+
+// buildGMP constructs an n-daemon GMP world. names is copied: the rig holds
+// on to it, and the scenario interpreter reuses its argument buffers.
+func (h *harness) buildGMP(names []string, bugs gmp.Bugs) error {
+	gr, err := exp.NewGMPRig(append([]string(nil), names...), gmp.WithBugs(bugs))
+	if err != nil {
+		return err
+	}
+	h.kind, h.gr = "gmp", gr
+	h.w, h.log = gr.W, gr.Log
+	for name, m := range gr.Ms {
+		h.pfis[name] = m.PFI
+	}
+	return nil
+}
+
+func (h *harness) pfi(node string) (*core.Layer, error) {
+	l, ok := h.pfis[node]
+	if !ok {
+		return nil, fmt.Errorf("unknown node %q (have %s)", node, strings.Join(h.nodeNames(), ", "))
+	}
+	return l, nil
+}
+
+func (h *harness) nodeNames() []string {
+	if h.w == nil {
+		return nil
+	}
+	return h.w.Nodes()
+}
+
+func (h *harness) node(name string) (*netsim.Node, error) {
+	if err := h.needWorld(); err != nil {
+		return nil, err
+	}
+	n, ok := h.w.Node(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown node %q (have %s)", name, strings.Join(h.nodeNames(), ", "))
+	}
+	return n, nil
+}
+
+func (h *harness) member(name string) (*exp.GMPMember, error) {
+	if err := h.needGMP(); err != nil {
+		return nil, err
+	}
+	m, ok := h.gr.Ms[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown gmp member %q", name)
+	}
+	return m, nil
+}
+
+func (h *harness) now() simtime.Time {
+	if h.w == nil {
+		return 0
+	}
+	return h.w.Now()
+}
+
+func (h *harness) record(v Verdict) {
+	h.verdicts = append(h.verdicts, v)
+}
+
+// entries snapshots the shared trace log.
+func (h *harness) entries() []trace.Entry {
+	if h.log == nil {
+		return nil
+	}
+	return h.log.Entries()
+}
+
+// profileByName resolves a vendor profile from a scenario token. Matching is
+// forgiving: "sunos", "SunOS 4.1.3" and "sunos-4.1.3" all hit the same
+// profile, and "default" (or "") selects the runner's default.
+func (h *harness) profileByName(name string) (tcp.Profile, error) {
+	if name == "" || strings.EqualFold(name, "default") {
+		return h.defaultProf, nil
+	}
+	canon := func(s string) string {
+		s = strings.ToLower(s)
+		return strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return -1
+		}, s)
+	}
+	want := canon(name)
+	all := append(tcp.Profiles(), tcp.XKernel())
+	for _, p := range all {
+		pc := canon(p.Name)
+		if pc == want || strings.HasPrefix(pc, want) {
+			return p, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return tcp.Profile{}, fmt.Errorf("unknown tcp profile %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// parseBugs maps scenario bug tokens onto gmp.Bugs.
+func parseBugs(tokens []string) (gmp.Bugs, error) {
+	var b gmp.Bugs
+	for _, t := range tokens {
+		switch strings.ToLower(t) {
+		case "self-death", "selfdeath":
+			b.SelfDeath = true
+		case "proclaim-forward", "proclaim":
+			b.ProclaimForward = true
+		case "timer-unset", "timer":
+			b.TimerUnset = true
+		default:
+			return b, fmt.Errorf("unknown gmp bug %q (want self-death, proclaim-forward, timer-unset)", t)
+		}
+	}
+	return b, nil
+}
+
+// parseDur accepts either a Go duration ("30s", "2m", "1.5h") or a bare
+// number of milliseconds — scenarios mix human-readable constants with
+// millisecond arithmetic from [now].
+func parseDur(s string) (time.Duration, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return d, nil
+	}
+	if ms, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Duration(ms * float64(time.Millisecond)), nil
+	}
+	return 0, fmt.Errorf("bad duration %q (want e.g. 500ms, 30s, 2m, or bare milliseconds)", s)
+}

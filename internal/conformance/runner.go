@@ -1,0 +1,131 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pfi/internal/campaign"
+	"pfi/internal/script"
+	"pfi/internal/simtime"
+	"pfi/internal/tcp"
+	"pfi/internal/trace"
+)
+
+// stepLimit bounds scenario interpreter work so a runaway while-loop in a
+// .pfi file fails fast instead of hanging the suite.
+const stepLimit = 2_000_000
+
+// Options configures a conformance run.
+type Options struct {
+	// Profile is the default vendor profile for `world tcp` scenarios that
+	// do not name one. Zero value means SunOS 4.1.3, the paper's baseline.
+	Profile tcp.Profile
+	// Workers is the fan-out for RunAll (0 or 1: serial). Each scenario
+	// still runs its own single-threaded simulated world; parallelism is
+	// across scenarios, exactly like a campaign sweep.
+	Workers int
+	// OnResult, if set, is called for each finished scenario in completion
+	// order (RunAll may invoke it from multiple goroutines; calls are
+	// serialized).
+	OnResult func(*Result)
+	// Context cancels a RunAll between scenarios.
+	Context context.Context
+}
+
+func (o Options) profile() tcp.Profile {
+	if o.Profile.Name == "" {
+		return tcp.SunOS413()
+	}
+	return o.Profile
+}
+
+// Result is the outcome of replaying one scenario.
+type Result struct {
+	// Scenario and Path identify the source.
+	Scenario string
+	Path     string
+	// Profile is the default vendor profile the run was offered (the
+	// scenario may have pinned a different one via `world tcp <name>`).
+	Profile string
+	// World names the profile actually instantiated ("" if the scenario
+	// never built a world, e.g. because it errored first).
+	World string
+	// Verdicts are the structured outcomes of every checked step, in
+	// execution order.
+	Verdicts []Verdict
+	// Trace is the world's full event log at the end of the run.
+	Trace []trace.Entry
+	// Elapsed is the final virtual time.
+	Elapsed simtime.Time
+	// Err is non-nil if the scenario itself failed to execute (syntax
+	// error, unknown node, ...). A failing expect is a !OK Verdict, not an
+	// Err.
+	Err error
+}
+
+// OK reports whether the scenario executed and every checked step passed.
+func (r *Result) OK() bool {
+	if r.Err != nil {
+		return false
+	}
+	for _, v := range r.Verdicts {
+		if !v.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the verdicts that did not hold.
+func (r *Result) Failed() []Verdict {
+	var out []Verdict
+	for _, v := range r.Verdicts {
+		if !v.OK {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Run replays one scenario in a fresh world and interpreter.
+func Run(sc *Scenario, opts Options) *Result {
+	prof := opts.profile()
+	res := &Result{Scenario: sc.Name, Path: sc.Path, Profile: prof.Name}
+
+	h := newHarness(prof)
+	in := script.New()
+	in.SetStepLimit(stepLimit)
+	registerCommands(in, h)
+
+	if _, err := in.Eval(sc.Source); err != nil {
+		res.Err = fmt.Errorf("conformance: scenario %s: %w", sc.Name, err)
+	}
+	res.Verdicts = h.verdicts
+	res.Trace = h.entries()
+	res.Elapsed = h.now()
+	if h.kind == "tcp" {
+		res.World = h.prof.Name
+	} else if h.kind == "gmp" {
+		res.World = "gmp"
+	}
+	return res
+}
+
+// RunAll replays every scenario, fanning out across opts.Workers via the
+// campaign worker pool. Results come back in scenario order regardless of
+// completion order, so serial and parallel runs are directly comparable.
+func RunAll(scs []*Scenario, opts Options) []*Result {
+	results := make([]*Result, len(scs))
+	var mu sync.Mutex
+	_ = campaign.ForEach(opts.Context, opts.Workers, len(scs), func(i int) {
+		r := Run(scs[i], opts)
+		results[i] = r
+		if opts.OnResult != nil {
+			mu.Lock()
+			opts.OnResult(r)
+			mu.Unlock()
+		}
+	})
+	return results
+}

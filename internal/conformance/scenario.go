@@ -1,0 +1,86 @@
+// Package conformance turns the repo's protocol stacks into a regression
+// suite: declarative scenario files (testdata/*.pfi, written in the same
+// Tcl-subset the PFI filters use) are replayed against a simulated world,
+// each inject/expect step yields a structured Verdict with timing checked
+// against the trace log, and the run's full event trace can be pinned as a
+// golden file so any behavioral drift in tcp/gmp/fault/netsim fails a test.
+//
+// This is the Packetdrill-in-INET evolution of the paper's hand-run
+// experiments: "at t=2.0 inject X, expect Y within ±tol, else FAIL" as a
+// checked-in artifact instead of bespoke Go driver code.
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pfi/internal/script"
+)
+
+// Ext is the scenario file extension.
+const Ext = ".pfi"
+
+// Scenario is one loaded conformance scenario.
+type Scenario struct {
+	// Name identifies the scenario (the file base without extension); it
+	// keys the golden trace and the -run regex.
+	Name string
+	// Path is where the scenario was loaded from ("" for inline scenarios).
+	Path string
+	// Source is the scenario script.
+	Source string
+}
+
+// New builds an inline scenario (tests, REPL experiments).
+func New(name, source string) *Scenario {
+	return &Scenario{Name: name, Source: source}
+}
+
+// Load reads one scenario file. The source is parse-checked eagerly so a
+// syntax error surfaces at load time with the file name attached.
+func Load(path string) (*Scenario, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %w", err)
+	}
+	if _, err := script.Parse(string(src)); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), Ext)
+	return &Scenario{Name: name, Path: path, Source: string(src)}, nil
+}
+
+// LoadDir loads every *.pfi file in dir, sorted by name.
+func LoadDir(dir string) ([]*Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+Ext))
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("conformance: no %s scenarios in %s", Ext, dir)
+	}
+	sort.Strings(paths)
+	scs := make([]*Scenario, 0, len(paths))
+	for _, p := range paths {
+		sc, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		scs = append(scs, sc)
+	}
+	return scs, nil
+}
+
+// Filter returns the scenarios whose names match keep.
+func Filter(scs []*Scenario, keep func(name string) bool) []*Scenario {
+	var out []*Scenario
+	for _, sc := range scs {
+		if keep(sc.Name) {
+			out = append(out, sc)
+		}
+	}
+	return out
+}

@@ -130,6 +130,18 @@ func (l *Layer) SetSendScript(src string) error { return l.send.SetScript(src) }
 // SetReceiveScript installs the receive filter script (parsed once).
 func (l *Layer) SetReceiveScript(src string) error { return l.recv.SetScript(src) }
 
+// Inject generates a message via the layer's stub and forwards it in the
+// given direction — the driver-side fault-injection verb. Unlike the script
+// command xInject it runs outside any filter pass, so addressing must come
+// from explicit "src"/"dst" fields.
+func (l *Layer) Inject(dir Direction, typ string, fields map[string]string) error {
+	f := l.send
+	if dir == Receive {
+		f = l.recv
+	}
+	return f.inject(typ, fields, dir)
+}
+
 // Trace returns the layer's event log.
 func (l *Layer) Trace() *trace.Log { return l.log }
 

@@ -75,32 +75,32 @@ type InterruptionResult struct {
 // exercise it.
 func RunGMPInterruption(variant InterruptionVariant, buggy bool) (InterruptionResult, error) {
 	res := InterruptionResult{Variant: variant, Buggy: buggy}
-	r, err := newGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{SelfDeath: buggy}))
+	r, err := NewGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{SelfDeath: buggy}))
 	if err != nil {
 		return res, err
 	}
-	r.startAll()
-	r.w.RunFor(time.Minute) // converge to {compsun1..3}
+	r.StartAll()
+	r.W.RunFor(time.Minute) // converge to {compsun1..3}
 
 	victim := "compsun3"
-	v := r.ms[victim]
-	faultStart := r.w.Now()
+	v := r.Ms[victim]
+	faultStart := r.W.Now()
 	switch variant {
 	case DropAllHeartbeats:
-		if err := v.pfi.SetSendScript(`
+		if err := v.PFI.SetSendScript(`
 			if {[msg_type cur_msg] eq "HEARTBEAT"} { xDrop cur_msg }
 		`); err != nil {
 			return res, err
 		}
-		r.w.RunFor(2 * time.Minute)
+		r.W.RunFor(2 * time.Minute)
 	case SuspendDaemon:
-		v.gmd.Suspend()
-		r.w.RunFor(30 * time.Second)
-		v.gmd.Resume()
-		r.w.RunFor(2 * time.Minute)
+		v.Gmd.Suspend()
+		r.W.RunFor(30 * time.Second)
+		v.Gmd.Resume()
+		r.W.RunFor(2 * time.Minute)
 	case DropOutboundHeartbeats:
 		// Oscillate: 20 s dropping heartbeats to others, 20 s passing.
-		if err := v.pfi.SetSendScript(`
+		if err := v.PFI.SetSendScript(`
 			if {[msg_type cur_msg] eq "HEARTBEAT" && [msg_field cur_msg dst] ne "compsun3"} {
 				set phase [expr {([now] / 20000) % 2}]
 				if {$phase == 0} { xDrop cur_msg }
@@ -108,7 +108,7 @@ func RunGMPInterruption(variant InterruptionVariant, buggy bool) (InterruptionRe
 		`); err != nil {
 			return res, err
 		}
-		r.w.RunFor(5 * time.Minute)
+		r.W.RunFor(5 * time.Minute)
 	case DropMembershipACKs:
 		// Fresh start: two machines form a group, then compsun3 arrives
 		// but its ACKs are dropped at the leader.
@@ -119,10 +119,10 @@ func RunGMPInterruption(variant InterruptionVariant, buggy bool) (InterruptionRe
 		return res, fmt.Errorf("exp: unknown interruption variant %d", variant)
 	}
 
-	ev := v.gmd.Events()
+	ev := v.Gmd.Events()
 	res.SelfDeathDetected = len(ev.Filter(victim, "self-death", ""))+
 		len(ev.Filter(victim, "self-death-bug", "")) > 0
-	res.BuggyDeclaredDead = v.gmd.SelfDeclaredDead()
+	res.BuggyDeclaredDead = v.Gmd.SelfDeclaredDead()
 	res.BadInfoBroadcast = len(ev.Filter(victim, "bad-info", "")) > 0
 	res.FormedSingleton = committedSingleton(r, victim, faultStart)
 	if variant == DropOutboundHeartbeats {
@@ -133,8 +133,8 @@ func RunGMPInterruption(variant InterruptionVariant, buggy bool) (InterruptionRe
 
 // committedSingleton reports whether the victim committed a single-member
 // view after the fault was injected.
-func committedSingleton(r *gmpRig, victim string, after simtime.Time) bool {
-	for _, e := range r.ms[victim].gmd.Events().Filter(victim, "commit", "") {
+func committedSingleton(r *GMPRig, victim string, after simtime.Time) bool {
+	for _, e := range r.Ms[victim].Gmd.Events().Filter(victim, "commit", "") {
 		if e.At >= after && containsField(e.Note, "{"+victim+"}") {
 			return true
 		}
@@ -144,10 +144,10 @@ func committedSingleton(r *gmpRig, victim string, after simtime.Time) bool {
 
 // countReadmissions counts post-fault transitions from a singleton view
 // back into a multi-member view.
-func countReadmissions(r *gmpRig, victim string, after simtime.Time) int {
+func countReadmissions(r *GMPRig, victim string, after simtime.Time) int {
 	cycles := 0
 	wasAlone := false
-	for _, e := range r.ms[victim].gmd.Events().Filter(victim, "commit", "") {
+	for _, e := range r.Ms[victim].Gmd.Events().Filter(victim, "commit", "") {
 		if e.At < after {
 			continue
 		}
@@ -162,65 +162,65 @@ func countReadmissions(r *gmpRig, victim string, after simtime.Time) int {
 
 func runGMPDropACKs(buggy bool) (InterruptionResult, error) {
 	res := InterruptionResult{Variant: DropMembershipACKs, Buggy: buggy}
-	r, err := newGMPRig(gmpNodes3)
+	r, err := NewGMPRig(gmpNodes3)
 	if err != nil {
 		return res, err
 	}
 	leader, victim := "compsun1", "compsun3"
 	// The two original machines form a group first.
-	r.ms["compsun1"].gmd.Start()
-	r.ms["compsun2"].gmd.Start()
-	r.w.RunFor(time.Minute)
+	r.Ms["compsun1"].Gmd.Start()
+	r.Ms["compsun2"].Gmd.Start()
+	r.W.RunFor(time.Minute)
 	// The leader's receive filter drops MEMBERSHIP_CHANGE ACKs from the
 	// victim, so the victim never receives a COMMIT.
-	if err := r.ms[leader].pfi.SetReceiveScript(fmt.Sprintf(`
+	if err := r.Ms[leader].PFI.SetReceiveScript(fmt.Sprintf(`
 		if {[msg_type cur_msg] eq "ACK" && [msg_field cur_msg origin] eq "%s"} {
 			xDrop cur_msg
 		}
 	`, victim)); err != nil {
 		return res, err
 	}
-	r.ms[victim].gmd.Start()
-	r.w.RunFor(5 * time.Minute)
+	r.Ms[victim].Gmd.Start()
+	r.W.RunFor(5 * time.Minute)
 
-	res.VictimInLeaderView = r.ms[leader].gmd.Group().Contains(victim)
+	res.VictimInLeaderView = r.Ms[leader].Gmd.Group().Contains(victim)
 	res.VictimAdmitted = false
-	for _, e := range r.ms[victim].gmd.Events().Filter(victim, "commit", "") {
+	for _, e := range r.Ms[victim].Gmd.Events().Filter(victim, "commit", "") {
 		if containsField(e.Note, leader) {
 			res.VictimAdmitted = true
 		}
 	}
-	res.TransitionTimeouts = len(r.ms[victim].gmd.Events().Filter(victim, "transition-timeout", ""))
+	res.TransitionTimeouts = len(r.Ms[victim].Gmd.Events().Filter(victim, "transition-timeout", ""))
 	return res, nil
 }
 
 func runGMPDropCommits(buggy bool) (InterruptionResult, error) {
 	res := InterruptionResult{Variant: DropCommits, Buggy: buggy}
-	r, err := newGMPRig(gmpNodes3)
+	r, err := NewGMPRig(gmpNodes3)
 	if err != nil {
 		return res, err
 	}
 	leader, victim := "compsun1", "compsun3"
-	r.ms["compsun1"].gmd.Start()
-	r.ms["compsun2"].gmd.Start()
-	r.w.RunFor(time.Minute)
-	if err := r.ms[victim].pfi.SetReceiveScript(`
+	r.Ms["compsun1"].Gmd.Start()
+	r.Ms["compsun2"].Gmd.Start()
+	r.W.RunFor(time.Minute)
+	if err := r.Ms[victim].PFI.SetReceiveScript(`
 		if {[msg_type cur_msg] eq "COMMIT"} { xDrop cur_msg }
 	`); err != nil {
 		return res, err
 	}
-	r.ms[victim].gmd.Start()
-	r.w.RunFor(5 * time.Minute)
+	r.Ms[victim].Gmd.Start()
+	r.W.RunFor(5 * time.Minute)
 
 	// Everyone else briefly committed the victim into a view, but the
 	// victim (never seeing COMMIT) sent no heartbeats and was kicked out.
-	for _, e := range r.ms[leader].gmd.Events().Filter(leader, "commit", "") {
+	for _, e := range r.Ms[leader].Gmd.Events().Filter(leader, "commit", "") {
 		if containsField(e.Note, victim) {
 			res.VictimAdmitted = true // others' view contained it
 		}
 	}
-	res.VictimInLeaderView = r.ms[leader].gmd.Group().Contains(victim)
-	res.TransitionTimeouts = len(r.ms[victim].gmd.Events().Filter(victim, "transition-timeout", ""))
+	res.VictimInLeaderView = r.Ms[leader].Gmd.Group().Contains(victim)
+	res.TransitionTimeouts = len(r.Ms[victim].Gmd.Events().Filter(victim, "transition-timeout", ""))
 	return res, nil
 }
 
@@ -248,33 +248,33 @@ func RunGMPPartition(cycles int) (PartitionResult, error) {
 	if cycles <= 0 {
 		cycles = 2
 	}
-	r, err := newGMPRig(gmpNodes5)
+	r, err := NewGMPRig(gmpNodes5)
 	if err != nil {
 		return res, err
 	}
-	r.startAll()
-	r.w.RunFor(2 * time.Minute)
+	r.StartAll()
+	r.W.RunFor(2 * time.Minute)
 
 	groupA := []string{"compsun1", "compsun2", "compsun3"}
 	groupB := []string{"compsun4", "compsun5"}
 	res.DisjointGroupsFormed = true
 	res.MergedAfterHeal = true
 	for i := 0; i < cycles; i++ {
-		r.w.Partition(groupA, groupB)
-		r.w.RunFor(2 * time.Minute)
-		okA := membersEqual(r.ms["compsun1"].gmd.Group(), groupA)
-		okB := membersEqual(r.ms["compsun4"].gmd.Group(), groupB)
+		r.W.Partition(groupA, groupB)
+		r.W.RunFor(2 * time.Minute)
+		okA := membersEqual(r.Ms["compsun1"].Gmd.Group(), groupA)
+		okB := membersEqual(r.Ms["compsun4"].Gmd.Group(), groupB)
 		if !okA || !okB {
 			res.DisjointGroupsFormed = false
 		}
 		if i == 0 {
-			res.GroupA = r.ms["compsun1"].gmd.Group().Members
-			res.GroupB = r.ms["compsun4"].gmd.Group().Members
+			res.GroupA = r.Ms["compsun1"].Gmd.Group().Members
+			res.GroupB = r.Ms["compsun4"].Gmd.Group().Members
 		}
-		r.w.Heal()
-		r.w.RunFor(3 * time.Minute)
+		r.W.Heal()
+		r.W.RunFor(3 * time.Minute)
 		for _, n := range gmpNodes5 {
-			if !membersEqual(r.ms[n].gmd.Group(), gmpNodes5) {
+			if !membersEqual(r.Ms[n].Gmd.Group(), gmpNodes5) {
 				res.MergedAfterHeal = false
 			}
 		}
@@ -289,38 +289,38 @@ func RunGMPPartition(cycles int) (PartitionResult, error) {
 // groups with the original leader, exactly as the paper observed.
 func RunGMPLeaderCrownSeparation() (PartitionResult, error) {
 	res := PartitionResult{Scenario: "leader/crown prince separation"}
-	r, err := newGMPRig(gmpNodes5)
+	r, err := NewGMPRig(gmpNodes5)
 	if err != nil {
 		return res, err
 	}
-	r.startAll()
-	r.w.RunFor(2 * time.Minute)
+	r.StartAll()
+	r.W.RunFor(2 * time.Minute)
 
 	// Cut only the leader<->crown-prince pair, with filter scripts on both
 	// send sides (the paper "configured [them] to stop sending messages to
 	// each other").
-	if err := r.ms["compsun1"].pfi.SetSendScript(`
+	if err := r.Ms["compsun1"].PFI.SetSendScript(`
 		if {[msg_field cur_msg dst] eq "compsun2"} { xDrop cur_msg }
 	`); err != nil {
 		return res, err
 	}
-	if err := r.ms["compsun2"].pfi.SetSendScript(`
+	if err := r.Ms["compsun2"].PFI.SetSendScript(`
 		if {[msg_field cur_msg dst] eq "compsun1"} { xDrop cur_msg }
 	`); err != nil {
 		return res, err
 	}
-	r.w.RunFor(10 * time.Minute)
+	r.W.RunFor(10 * time.Minute)
 
-	cpGroup := r.ms["compsun2"].gmd.Group()
+	cpGroup := r.Ms["compsun2"].Gmd.Group()
 	res.CrownPrinceIsolated = len(cpGroup.Members) == 1 && cpGroup.Members[0] == "compsun2"
 	want := []string{"compsun1", "compsun3", "compsun4", "compsun5"}
 	res.OthersWithLeader = true
 	for _, n := range want {
-		if !membersEqual(r.ms[n].gmd.Group(), want) {
+		if !membersEqual(r.Ms[n].Gmd.Group(), want) {
 			res.OthersWithLeader = false
 		}
 	}
-	res.FinalLeaderView = r.ms["compsun1"].gmd.Group().Members
+	res.FinalLeaderView = r.Ms["compsun1"].Gmd.Group().Members
 	return res, nil
 }
 
@@ -339,40 +339,40 @@ type ProclaimResult struct {
 // loop; the fixed leader answers the originator, who then joins.
 func RunGMPProclaim(buggy bool) (ProclaimResult, error) {
 	res := ProclaimResult{Buggy: buggy}
-	r, err := newGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{ProclaimForward: buggy}))
+	r, err := NewGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{ProclaimForward: buggy}))
 	if err != nil {
 		return res, err
 	}
 	leader, prince, victim := "compsun1", "compsun2", "compsun3"
-	r.ms[leader].gmd.Start()
-	r.ms[prince].gmd.Start()
-	r.w.RunFor(time.Minute)
-	if err := r.ms[victim].pfi.SetSendScript(fmt.Sprintf(`
+	r.Ms[leader].Gmd.Start()
+	r.Ms[prince].Gmd.Start()
+	r.W.RunFor(time.Minute)
+	if err := r.Ms[victim].PFI.SetSendScript(fmt.Sprintf(`
 		if {[msg_type cur_msg] eq "PROCLAIM" && [msg_field cur_msg dst] eq "%s"} {
 			xDrop cur_msg
 		}
 	`, leader)); err != nil {
 		return res, err
 	}
-	r.ms[victim].gmd.Start()
-	r.w.RunFor(2 * time.Minute)
+	r.Ms[victim].Gmd.Start()
+	r.W.RunFor(2 * time.Minute)
 
 	// Loop signature: the leader repeatedly responding "to sender".
 	buggyReplies := 0
-	for _, e := range r.ms[leader].gmd.Events().Filter(leader, "proclaim-respond", "") {
+	for _, e := range r.Ms[leader].Gmd.Events().Filter(leader, "proclaim-respond", "") {
 		if containsField(e.Note, "buggy") {
 			buggyReplies++
 		}
 	}
 	res.LoopRounds = buggyReplies
 	res.LoopDetected = buggyReplies > 5
-	for _, e := range r.ms[leader].gmd.Events().Filter(leader, "proclaim-respond", "") {
+	for _, e := range r.Ms[leader].Gmd.Events().Filter(leader, "proclaim-respond", "") {
 		if containsField(e.Note, "to "+victim) {
 			res.OriginatorReply = true
 		}
 	}
-	res.VictimAdmitted = r.ms[leader].gmd.Group().Contains(victim) &&
-		r.ms[victim].gmd.Group().Contains(leader)
+	res.VictimAdmitted = r.Ms[leader].Gmd.Group().Contains(victim) &&
+		r.Ms[victim].Gmd.Group().Contains(leader)
 	return res, nil
 }
 
@@ -391,7 +391,7 @@ type TimerResult struct {
 // fire — the paper's "timed out waiting for a heartbeat from the leader".
 func RunGMPTimer(buggy bool) (TimerResult, error) {
 	res := TimerResult{Buggy: buggy}
-	r, err := newGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{TimerUnset: buggy}))
+	r, err := NewGMPRig(gmpNodes3, gmp.WithBugs(gmp.Bugs{TimerUnset: buggy}))
 	if err != nil {
 		return res, err
 	}
@@ -400,7 +400,7 @@ func RunGMPTimer(buggy bool) (TimerResult, error) {
 	// paper: the victim "was allowed to join one group; after that, when
 	// it received a second MEMBERSHIP_CHANGE ... it started dropping all
 	// incoming COMMIT and heartbeat packets".
-	if err := r.ms[victim].pfi.SetReceiveScript(`
+	if err := r.Ms[victim].PFI.SetReceiveScript(`
 		set t [msg_type cur_msg]
 		if {$t eq "MEMBERSHIP_CHANGE"} {
 			if {![info exists mc]} { set mc 0 }
@@ -414,25 +414,25 @@ func RunGMPTimer(buggy bool) (TimerResult, error) {
 	}
 	// compsun1 and compsun2 form the initial group (the victim's first
 	// MEMBERSHIP_CHANGE)...
-	r.ms[leader].gmd.Start()
-	r.ms[victim].gmd.Start()
-	r.w.RunFor(time.Minute)
+	r.Ms[leader].Gmd.Start()
+	r.Ms[victim].Gmd.Start()
+	r.W.RunFor(time.Minute)
 	// ...then the third machine arrives, triggering the second.
-	r.ms[third].gmd.Start()
+	r.Ms[third].Gmd.Start()
 
 	// Sample the victim's armed timers shortly after it (re-)enters
 	// transition, then let the stray timers expire.
 	transitions := 0
 	for i := 0; i < 600; i++ {
-		r.w.RunFor(100 * time.Millisecond)
-		if r.ms[victim].gmd.InTransition() {
+		r.W.RunFor(100 * time.Millisecond)
+		if r.Ms[victim].Gmd.InTransition() {
 			transitions++
-			if armed := r.ms[victim].gmd.ArmedHBExpect(); armed > res.TimersArmedInTrans {
+			if armed := r.Ms[victim].Gmd.ArmedHBExpect(); armed > res.TimersArmedInTrans {
 				res.TimersArmedInTrans = armed
 			}
 		}
 	}
 	res.EnteredTransitTwice = transitions > 0
-	res.StrayTimeouts = len(r.ms[victim].gmd.Events().Filter(victim, "hb-timeout-in-transition", ""))
+	res.StrayTimeouts = len(r.Ms[victim].Gmd.Events().Filter(victim, "hb-timeout-in-transition", ""))
 	return res, nil
 }

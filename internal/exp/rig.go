@@ -7,6 +7,11 @@
 // Each Run* function builds a fresh simulated world, installs the paper's
 // filter scripts, drives the workload, and returns a structured result
 // carrying the observations the paper's tables report.
+//
+// The rigs (NewTCPRig, NewGMPRig) are exported so the conformance runner
+// can replay declarative .pfi scenarios against the same worlds the paper's
+// experiments use. Every layer of a rig logs into one shared trace.Log, so
+// a rig's whole run serializes to a single canonical golden trace.
 package exp
 
 import (
@@ -26,78 +31,80 @@ import (
 // lanLatency is the simulated LAN propagation delay.
 const lanLatency = 2 * time.Millisecond
 
-// tcpEndpoint is one machine in the TCP experiments: a vendor (or
+// TCPEndpoint is one machine in the TCP experiments: a vendor (or
 // x-Kernel) TCP stack with a PFI layer spliced directly below it.
-type tcpEndpoint struct {
-	node *netsim.Node
-	tcp  *tcp.Layer
-	pfi  *core.Layer
-	log  *trace.Log
+type TCPEndpoint struct {
+	Node *netsim.Node
+	TCP  *tcp.Layer
+	PFI  *core.Layer
 }
 
-// tcpRig is the paper's experimental setup: a machine running a vendor TCP
-// implementation talking to the instrumented x-Kernel machine.
-type tcpRig struct {
-	w      *netsim.World
-	vendor *tcpEndpoint
-	xk     *tcpEndpoint
+// TCPRig is the paper's experimental setup: a machine running a vendor TCP
+// implementation talking to the instrumented x-Kernel machine. Both
+// endpoints share one trace log; entries are distinguished by node name.
+type TCPRig struct {
+	W      *netsim.World
+	Log    *trace.Log
+	Vendor *TCPEndpoint
+	XK     *TCPEndpoint
 }
 
-func newTCPEndpoint(w *netsim.World, name string, prof tcp.Profile) (*tcpEndpoint, error) {
+func newTCPEndpoint(w *netsim.World, name string, prof tcp.Profile, log *trace.Log) (*TCPEndpoint, error) {
 	node, err := w.AddNode(name)
 	if err != nil {
 		return nil, err
 	}
-	log := trace.NewLog()
 	tl, err := tcp.NewLayer(node.Env(), prof, tcp.WithTrace(log))
 	if err != nil {
 		return nil, err
 	}
 	pl := core.NewLayer(node.Env(), core.WithStub(tcp.PFIStub{}), core.WithTrace(log))
 	node.SetStack(stack.New(node.Env(), tl, pl))
-	return &tcpEndpoint{node: node, tcp: tl, pfi: pl, log: log}, nil
+	return &TCPEndpoint{Node: node, TCP: tl, PFI: pl}, nil
 }
 
-// newTCPRig builds the two-machine TCP world.
-func newTCPRig(prof tcp.Profile) (*tcpRig, error) {
+// NewTCPRig builds the two-machine TCP world: "vendor" running prof against
+// the instrumented "xkernel" endpoint.
+func NewTCPRig(prof tcp.Profile) (*TCPRig, error) {
 	w := netsim.NewWorld(1995)
-	vendor, err := newTCPEndpoint(w, "vendor", prof)
+	log := trace.NewLog()
+	vendor, err := newTCPEndpoint(w, "vendor", prof, log)
 	if err != nil {
 		return nil, err
 	}
-	xk, err := newTCPEndpoint(w, "xkernel", tcp.XKernel())
+	xk, err := newTCPEndpoint(w, "xkernel", tcp.XKernel(), log)
 	if err != nil {
 		return nil, err
 	}
 	if err := w.Connect("vendor", "xkernel", netsim.LinkConfig{Latency: lanLatency}); err != nil {
 		return nil, err
 	}
-	return &tcpRig{w: w, vendor: vendor, xk: xk}, nil
+	return &TCPRig{W: w, Log: log, Vendor: vendor, XK: xk}, nil
 }
 
-// dial opens vendor -> xkernel:80 and runs the handshake.
-func (r *tcpRig) dial(accept func(*tcp.Conn)) (*tcp.Conn, error) {
+// Dial opens vendor -> xkernel:80 and runs the handshake.
+func (r *TCPRig) Dial(accept func(*tcp.Conn)) (*tcp.Conn, error) {
 	if accept == nil {
 		accept = func(*tcp.Conn) {}
 	}
-	if err := r.xk.tcp.Listen(80, accept); err != nil {
+	if err := r.XK.TCP.Listen(80, accept); err != nil {
 		return nil, err
 	}
-	c, err := r.vendor.tcp.Connect("xkernel", 80)
+	c, err := r.Vendor.TCP.Connect("xkernel", 80)
 	if err != nil {
 		return nil, err
 	}
-	r.w.RunFor(time.Second)
+	r.W.RunFor(time.Second)
 	if c.State() != tcp.StateEstablished {
 		return nil, fmt.Errorf("exp: handshake failed, state %v", c.State())
 	}
 	return c, nil
 }
 
-// streamSegments sends n MSS-sized segments spaced apart, letting each be
+// StreamSegments sends n MSS-sized segments spaced apart, letting each be
 // acknowledged (the "thirty packets allowed through" warm-up).
-func (r *tcpRig) streamSegments(c *tcp.Conn, n int, spacing time.Duration) error {
-	payload := make([]byte, r.vendor.tcp.Profile().MSS)
+func (r *TCPRig) StreamSegments(c *tcp.Conn, n int, spacing time.Duration) error {
+	payload := make([]byte, r.Vendor.TCP.Profile().MSS)
 	for i := range payload {
 		payload[i] = byte('a' + i%26)
 	}
@@ -105,45 +112,49 @@ func (r *tcpRig) streamSegments(c *tcp.Conn, n int, spacing time.Duration) error
 		if err := c.Send(payload); err != nil {
 			return fmt.Errorf("exp: warm-up segment %d: %w", i, err)
 		}
-		r.w.RunFor(spacing)
+		r.W.RunFor(spacing)
 	}
 	return nil
 }
 
-// gmpMember is one machine in the GMP experiments: daemon over rudp with a
+// GMPMember is one machine in the GMP experiments: daemon over rudp with a
 // PFI layer at the UDP boundary.
-type gmpMember struct {
-	node *netsim.Node
-	net  *rudp.Layer
-	pfi  *core.Layer
-	gmd  *gmp.Daemon
+type GMPMember struct {
+	Node *netsim.Node
+	Net  *rudp.Layer
+	PFI  *core.Layer
+	Gmd  *gmp.Daemon
 }
 
-// gmpRig is an n-machine GMP world. Node names sort such that names[0] is
+// GMPRig is an n-machine GMP world. Node names sort such that Names[0] is
 // the leader-by-id when all machines group together (the paper's compsun
-// numbering).
-type gmpRig struct {
-	w     *netsim.World
-	names []string
-	ms    map[string]*gmpMember
+// numbering). Daemon events and PFI filter events share one trace log.
+type GMPRig struct {
+	W     *netsim.World
+	Log   *trace.Log
+	Names []string
+	Ms    map[string]*GMPMember
 }
 
-func newGMPRig(names []string, opts ...gmp.Option) (*gmpRig, error) {
+// NewGMPRig builds an n-daemon GMP world. opts apply to every daemon (after
+// the rig's shared-trace option, so a caller-supplied gmp.WithTrace wins).
+func NewGMPRig(names []string, opts ...gmp.Option) (*GMPRig, error) {
 	w := netsim.NewWorld(1995)
-	r := &gmpRig{w: w, names: names, ms: make(map[string]*gmpMember)}
+	log := trace.NewLog()
+	r := &GMPRig{W: w, Log: log, Names: names, Ms: make(map[string]*GMPMember)}
 	for _, name := range names {
 		node, err := w.AddNode(name)
 		if err != nil {
 			return nil, err
 		}
 		net := rudp.NewLayer(node.Env())
-		pfi := core.NewLayer(node.Env(), core.WithStub(gmp.PFIStub{}))
+		pfi := core.NewLayer(node.Env(), core.WithStub(gmp.PFIStub{}), core.WithTrace(log))
 		node.SetStack(stack.New(node.Env(), net, pfi))
-		gmd, err := gmp.New(node.Env(), net, names, opts...)
+		gmd, err := gmp.New(node.Env(), net, names, append([]gmp.Option{gmp.WithTrace(log)}, opts...)...)
 		if err != nil {
 			return nil, err
 		}
-		r.ms[name] = &gmpMember{node: node, net: net, pfi: pfi, gmd: gmd}
+		r.Ms[name] = &GMPMember{Node: node, Net: net, PFI: pfi, Gmd: gmd}
 	}
 	if err := w.ConnectAll(netsim.LinkConfig{Latency: lanLatency}); err != nil {
 		return nil, err
@@ -151,9 +162,10 @@ func newGMPRig(names []string, opts ...gmp.Option) (*gmpRig, error) {
 	return r, nil
 }
 
-func (r *gmpRig) startAll() {
-	for _, n := range r.names {
-		r.ms[n].gmd.Start()
+// StartAll boots every daemon.
+func (r *GMPRig) StartAll() {
+	for _, n := range r.Names {
+		r.Ms[n].Gmd.Start()
 	}
 }
 

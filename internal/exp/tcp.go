@@ -38,15 +38,15 @@ type RetransmissionResult struct {
 // retransmission schedule and teardown behaviour are recorded.
 func RunTCPRetransmission(prof tcp.Profile) (RetransmissionResult, error) {
 	res := RetransmissionResult{Vendor: prof.Name}
-	r, err := newTCPRig(prof)
+	r, err := NewTCPRig(prof)
 	if err != nil {
 		return res, err
 	}
-	c, err := r.dial(nil)
+	c, err := r.Dial(nil)
 	if err != nil {
 		return res, err
 	}
-	if err := r.xk.pfi.SetReceiveScript(dropAllAfterScript); err != nil {
+	if err := r.XK.PFI.SetReceiveScript(dropAllAfterScript); err != nil {
 		return res, err
 	}
 	c.OnClose(func(reason string) {
@@ -54,12 +54,12 @@ func RunTCPRetransmission(prof tcp.Profile) (RetransmissionResult, error) {
 		res.CloseReason = reason
 	})
 	// 30 warm-up segments pass the filter; the 31st enters the blackout.
-	if err := r.streamSegments(c, 31, time.Second); err != nil {
+	if err := r.StreamSegments(c, 31, time.Second); err != nil {
 		return res, err
 	}
-	r.w.RunFor(30 * time.Minute)
+	r.W.RunFor(30 * time.Minute)
 
-	rtx := r.vendor.log.Times("vendor", "retransmit", "DATA")
+	rtx := r.Log.Times("vendor", "retransmit", "DATA")
 	res.Retransmissions = len(rtx)
 	report := trace.AnalyzeBackoff(rtx, 0.25)
 	res.FirstGap = report.First
@@ -67,7 +67,7 @@ func RunTCPRetransmission(prof tcp.Profile) (RetransmissionResult, error) {
 	res.Exponential = report.Exponential
 	res.PlateauReached = report.PlateauReached
 	res.Plateau = report.Plateau
-	res.ResetSent = len(r.vendor.log.Filter("vendor", "reset", "")) > 0
+	res.ResetSent = len(r.Log.Filter("vendor", "reset", "")) > 0
 	return res, nil
 }
 
@@ -89,23 +89,23 @@ type DelayedACKResult struct {
 // regenerates the no-delay series of Figure 4.
 func RunTCPDelayedACK(prof tcp.Profile, delay time.Duration) (DelayedACKResult, error) {
 	res := DelayedACKResult{Vendor: prof.Name, ACKDelay: delay}
-	r, err := newTCPRig(prof)
+	r, err := NewTCPRig(prof)
 	if err != nil {
 		return res, err
 	}
-	c, err := r.dial(nil)
+	c, err := r.Dial(nil)
 	if err != nil {
 		return res, err
 	}
 	// Send filter: delay every outgoing ACK by the configured amount.
-	if err := r.xk.pfi.SetSendScript(fmt.Sprintf(`
+	if err := r.XK.PFI.SetSendScript(fmt.Sprintf(`
 		if {[msg_type cur_msg] eq "ACK"} {
 			xDelay cur_msg %d
 		}
 	`, delay.Milliseconds())); err != nil {
 		return res, err
 	}
-	if err := r.xk.pfi.SetReceiveScript(`
+	if err := r.XK.PFI.SetReceiveScript(`
 		if {[info exists blackout] && $blackout} {
 			msg_log cur_msg "dropped"
 			xDrop cur_msg
@@ -123,25 +123,25 @@ func RunTCPDelayedACK(prof tcp.Profile, delay time.Duration) (DelayedACKResult, 
 	// Drain: run until every warm-up segment is acknowledged (the delayed
 	// ACKs keep trickling in; nothing is dropped yet).
 	for i := 0; i < 600 && c.UnackedSegments() > 0 && c.State() == tcp.StateEstablished; i++ {
-		r.w.RunFor(time.Second)
+		r.W.RunFor(time.Second)
 	}
 	if c.State() != tcp.StateEstablished {
 		return res, fmt.Errorf("exp: connection died during the delayed-ACK warm-up")
 	}
 	// The driver now instructs the receive filter to begin the blackout —
 	// the paper's "driver and PFI layers communicate during the test".
-	r.xk.pfi.ReceiveFilter().Interp().SetGlobal("blackout", "1")
+	r.XK.PFI.ReceiveFilter().Interp().SetGlobal("blackout", "1")
 
 	// The measured segment: sent exactly at blackout, never acknowledged.
-	blackoutStart := r.w.Now()
+	blackoutStart := r.W.Now()
 	if err := c.Send(make([]byte, prof.MSS)); err != nil {
 		return res, err
 	}
-	r.w.RunFor(90 * time.Minute)
+	r.W.RunFor(90 * time.Minute)
 
 	// Analyze only post-blackout retransmissions of the final segment.
 	var rtx []trace.Entry
-	for _, e := range r.vendor.log.Filter("vendor", "retransmit", "DATA") {
+	for _, e := range r.Log.Filter("vendor", "retransmit", "DATA") {
 		if e.At >= blackoutStart {
 			rtx = append(rtx, e)
 		}
@@ -176,17 +176,17 @@ type GlobalCounterResult struct {
 // per-segment (BSD) counter instead allows m2 its full retry allowance.
 func RunTCPGlobalCounter(prof tcp.Profile) (GlobalCounterResult, error) {
 	res := GlobalCounterResult{Vendor: prof.Name}
-	r, err := newTCPRig(prof)
+	r, err := NewTCPRig(prof)
 	if err != nil {
 		return res, err
 	}
-	c, err := r.dial(nil)
+	c, err := r.Dial(nil)
 	if err != nil {
 		return res, err
 	}
 	// Receive filter: pass 30 packets, pass the 31st (m1) exactly once,
 	// drop everything afterwards.
-	if err := r.xk.pfi.SetReceiveScript(`
+	if err := r.XK.PFI.SetReceiveScript(`
 		if {![info exists count]} { set count 0 }
 		incr count
 		if {$count > 31} {
@@ -197,7 +197,7 @@ func RunTCPGlobalCounter(prof tcp.Profile) (GlobalCounterResult, error) {
 		return res, err
 	}
 	// Send filter: delay the ACK of m1 (the 31st data packet) by 35 s.
-	if err := r.xk.pfi.SetSendScript(`
+	if err := r.XK.PFI.SetSendScript(`
 		if {[msg_type cur_msg] eq "ACK"} {
 			if {![info exists acks]} { set acks 0 }
 			incr acks
@@ -208,27 +208,27 @@ func RunTCPGlobalCounter(prof tcp.Profile) (GlobalCounterResult, error) {
 	}
 	c.OnClose(func(string) { res.ConnClosed = true })
 
-	if err := r.streamSegments(c, 30, time.Second); err != nil {
+	if err := r.StreamSegments(c, 30, time.Second); err != nil {
 		return res, err
 	}
 	// m1: its ACK takes ~35 s; count its retransmissions in that window.
-	m1Start := r.w.Now()
-	if err := r.streamSegments(c, 1, 0); err != nil {
+	m1Start := r.W.Now()
+	if err := r.StreamSegments(c, 1, 0); err != nil {
 		return res, err
 	}
-	r.w.RunFor(36 * time.Second)
-	for _, e := range r.vendor.log.Filter("vendor", "retransmit", "DATA") {
+	r.W.RunFor(36 * time.Second)
+	for _, e := range r.Log.Filter("vendor", "retransmit", "DATA") {
 		if e.At >= m1Start {
 			res.M1Retransmit++
 		}
 	}
 	// m2: dropped at the receiver; count retransmissions until close.
-	m2Start := r.w.Now()
-	if err := r.streamSegments(c, 1, 0); err != nil {
+	m2Start := r.W.Now()
+	if err := r.StreamSegments(c, 1, 0); err != nil {
 		return res, err
 	}
-	r.w.RunFor(time.Hour)
-	for _, e := range r.vendor.log.Filter("vendor", "retransmit", "DATA") {
+	r.W.RunFor(time.Hour)
+	for _, e := range r.Log.Filter("vendor", "retransmit", "DATA") {
 		if e.At >= m2Start {
 			res.M2Transmit++
 		}
@@ -257,18 +257,18 @@ type KeepAliveResult struct {
 // steady-state probing interval over runFor.
 func RunTCPKeepAlive(prof tcp.Profile, dropProbes bool, runFor time.Duration) (KeepAliveResult, error) {
 	res := KeepAliveResult{Vendor: prof.Name, ProbesDropped: dropProbes}
-	r, err := newTCPRig(prof)
+	r, err := NewTCPRig(prof)
 	if err != nil {
 		return res, err
 	}
-	c, err := r.dial(nil)
+	c, err := r.Dial(nil)
 	if err != nil {
 		return res, err
 	}
 	c.SetKeepAlive(true)
 	c.OnClose(func(string) { res.ConnClosed = true })
 	if dropProbes {
-		if err := r.xk.pfi.SetReceiveScript(`
+		if err := r.XK.PFI.SetReceiveScript(`
 			msg_log cur_msg "dropped"
 			xDrop cur_msg
 		`); err != nil {
@@ -278,9 +278,9 @@ func RunTCPKeepAlive(prof tcp.Profile, dropProbes bool, runFor time.Duration) (K
 	if runFor <= 0 {
 		runFor = 4 * 3600 * time.Second
 	}
-	r.w.RunFor(runFor)
+	r.W.RunFor(runFor)
 
-	kas := r.vendor.log.Filter("vendor", "keepalive", "")
+	kas := r.Log.Filter("vendor", "keepalive", "")
 	res.ProbeCount = len(kas)
 	if len(kas) > 0 {
 		res.FirstProbeAt = time.Duration(kas[0].At)
@@ -304,7 +304,7 @@ func RunTCPKeepAlive(prof tcp.Profile, dropProbes bool, runFor time.Duration) (K
 	if !dropProbes && len(res.Gaps) > 0 {
 		res.SteadyInterval = res.Gaps[len(res.Gaps)-1]
 	}
-	res.ResetSent = len(r.vendor.log.Filter("vendor", "reset", "")) > 0
+	res.ResetSent = len(r.Log.Filter("vendor", "reset", "")) > 0
 	return res, nil
 }
 
@@ -335,12 +335,12 @@ type ZeroWindowResult struct {
 // zero-window probing is observed under three conditions.
 func RunTCPZeroWindow(prof tcp.Profile, variant ZeroWindowVariant) (ZeroWindowResult, error) {
 	res := ZeroWindowResult{Vendor: prof.Name, Variant: variant}
-	r, err := newTCPRig(prof)
+	r, err := NewTCPRig(prof)
 	if err != nil {
 		return res, err
 	}
 	var server *tcp.Conn
-	c, err := r.dial(func(sc *tcp.Conn) {
+	c, err := r.Dial(func(sc *tcp.Conn) {
 		server = sc
 		sc.SetAutoConsume(false) // the driver "did not reset the receive buffer space"
 	})
@@ -354,33 +354,33 @@ func RunTCPZeroWindow(prof tcp.Profile, variant ZeroWindowVariant) (ZeroWindowRe
 	if err := c.Send(make([]byte, 6*1024)); err != nil {
 		return res, err
 	}
-	r.w.RunFor(5 * time.Minute) // window closes, probing reaches steady state
+	r.W.RunFor(5 * time.Minute) // window closes, probing reaches steady state
 
 	switch variant {
 	case ZWAcked:
-		r.w.RunFor(90 * time.Minute)
+		r.W.RunFor(90 * time.Minute)
 	case ZWDropped:
-		if err := r.xk.pfi.SetReceiveScript(`xDrop cur_msg`); err != nil {
+		if err := r.XK.PFI.SetReceiveScript(`xDrop cur_msg`); err != nil {
 			return res, err
 		}
-		r.w.RunFor(90 * time.Minute)
+		r.W.RunFor(90 * time.Minute)
 	case ZWUnplugged:
-		r.xk.node.Unplug()
-		r.w.RunFor(48 * 3600 * time.Second)
-		r.xk.node.Replug()
-		r.w.RunFor(10 * time.Minute)
+		r.XK.Node.Unplug()
+		r.W.RunFor(48 * 3600 * time.Second)
+		r.XK.Node.Replug()
+		r.W.RunFor(10 * time.Minute)
 	default:
 		return res, fmt.Errorf("exp: unknown zero-window variant %d", variant)
 	}
 
-	zwps := r.vendor.log.Filter("vendor", "zwp", "")
+	zwps := r.Log.Filter("vendor", "zwp", "")
 	res.ProbeCount = len(zwps)
 	gaps := trace.Intervals(entryTimes(zwps))
 	if len(gaps) > 0 {
 		res.SteadyInterval = gaps[len(gaps)-1]
 	}
 	if len(zwps) > 0 {
-		last := time.Duration(r.w.Now().Sub(zwps[len(zwps)-1].At))
+		last := time.Duration(r.W.Now().Sub(zwps[len(zwps)-1].At))
 		res.StillProbing = last <= 2*prof.ZWPMax
 	}
 	res.ConnOpen = c.State() == tcp.StateEstablished
@@ -400,18 +400,18 @@ type ReorderResult struct {
 // all retransmissions; a queueing receiver acks both once the gap fills.
 func RunTCPReorder(prof tcp.Profile) (ReorderResult, error) {
 	res := ReorderResult{Vendor: prof.Name}
-	r, err := newTCPRig(prof)
+	r, err := NewTCPRig(prof)
 	if err != nil {
 		return res, err
 	}
 	var received []byte
-	c, err := r.dial(func(sc *tcp.Conn) {
+	c, err := r.Dial(func(sc *tcp.Conn) {
 		sc.OnData(func(d []byte) { received = append(received, d...) })
 	})
 	if err != nil {
 		return res, err
 	}
-	if err := r.vendor.pfi.SetSendScript(`
+	if err := r.Vendor.PFI.SetSendScript(`
 		if {[msg_type cur_msg] eq "DATA"} {
 			set seq [msg_field cur_msg seq]
 			if {[info exists seen_$seq]} {
@@ -441,9 +441,9 @@ func RunTCPReorder(prof tcp.Profile) (ReorderResult, error) {
 	}
 	// Before the delayed first segment lands, nothing may be delivered —
 	// the second segment sits in the receiver's out-of-order queue.
-	r.w.RunFor(2 * time.Second)
+	r.W.RunFor(2 * time.Second)
 	res.SecondQueued = len(received) == 0
-	r.w.RunFor(time.Minute)
+	r.W.RunFor(time.Minute)
 	res.BothDelivered = len(received) == len(payload)
 	res.DeliveredOrder = res.BothDelivered && received[0] == 'A' && received[len(received)-1] == 'B'
 	return res, nil

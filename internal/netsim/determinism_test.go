@@ -1,0 +1,83 @@
+// Determinism gate for the simulated world: one seed, one scenario, one
+// trace — regardless of how many OS threads are replaying worlds next to
+// each other. The conformance goldens and the parallel campaign engine are
+// both built on this property, so it gets its own test at the netsim layer.
+package netsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"pfi/internal/campaign"
+	"pfi/internal/exp"
+	"pfi/internal/tcp"
+	"pfi/internal/trace"
+)
+
+// replayTCP runs a fixed fault scenario in a fresh seeded world and returns
+// the canonical serialization of its full trace.
+func replayTCP() ([]byte, error) {
+	r, err := exp.NewTCPRig(tcp.SunOS413())
+	if err != nil {
+		return nil, err
+	}
+	c, err := r.Dial(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.XK.PFI.SetReceiveScript(`
+		if {![info exists count]} { set count 0 }
+		incr count
+		if {$count % 3 == 0} { xDrop cur_msg }
+		if {$count % 7 == 0} { xDelay cur_msg 250 }
+	`); err != nil {
+		return nil, err
+	}
+	if err := r.StreamSegments(c, 20, 500*time.Millisecond); err != nil {
+		return nil, err
+	}
+	r.W.RunFor(2 * time.Minute)
+
+	var buf bytes.Buffer
+	if err := trace.WriteCanonical(&buf, r.Log.Entries()); err != nil {
+		return nil, err
+	}
+	if buf.Len() == 0 {
+		return nil, fmt.Errorf("scenario produced an empty trace")
+	}
+	return buf.Bytes(), nil
+}
+
+// TestWorldDeterministicUnderParallelReplay replays the same seed+scenario
+// 16 times through the campaign worker pool — serial and with 8 workers —
+// and requires byte-identical traces everywhere.
+func TestWorldDeterministicUnderParallelReplay(t *testing.T) {
+	const n = 16
+	var reference []byte
+	for _, workers := range []int{1, 8} {
+		traces := make([][]byte, n)
+		errs := make([]error, n)
+		err := campaign.ForEach(nil, workers, n, func(i int) {
+			traces[i], errs[i] = replayTCP()
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d replay %d: %v", workers, i, errs[i])
+			}
+			if !bytes.Equal(traces[0], traces[i]) {
+				t.Fatalf("workers=%d: replay %d diverged from replay 0", workers, i)
+			}
+		}
+		// The traces must also agree across pool sizes.
+		if reference == nil {
+			reference = traces[0]
+		} else if !bytes.Equal(reference, traces[0]) {
+			t.Fatalf("workers=%d: trace diverged from the serial run", workers)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"pfi/internal/simtime"
+)
+
+// The canonical trace format is the golden-file representation of a Log:
+// one entry per line, tab-separated fields, virtual time in integer
+// nanoseconds. It is stable under formatting changes to Entry.String (which
+// is for humans) and round-trips exactly, so golden comparisons are
+// entry-by-entry rather than textual.
+
+// Canonical renders one entry in the golden format.
+func (e Entry) Canonical() string {
+	return fmt.Sprintf("%d\t%s\t%s\t%s\t%d\t%s",
+		int64(time.Duration(e.At)), e.Node, e.Kind, e.Type, e.Seq, sanitize(e.Note))
+}
+
+// sanitize keeps notes single-line and tab-free so the canonical format
+// stays one-entry-per-line.
+func sanitize(s string) string {
+	if !strings.ContainsAny(s, "\t\n\r") {
+		return s
+	}
+	r := strings.NewReplacer("\t", " ", "\n", " ", "\r", " ")
+	return r.Replace(s)
+}
+
+// WriteCanonical writes entries in canonical form, one per line, preceded by
+// a version header.
+func WriteCanonical(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# pfi-trace v1 entries=%d\n", len(entries))
+	for _, e := range entries {
+		fmt.Fprintln(bw, e.Canonical())
+	}
+	return bw.Flush()
+}
+
+// ParseCanonical reads a canonical trace back into entries. Blank lines and
+// '#' comment lines are ignored.
+func ParseCanonical(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 6)
+		if len(parts) < 5 {
+			return nil, fmt.Errorf("trace: line %d: want >= 5 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		ns, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q", lineNo, parts[0])
+		}
+		seq, err := strconv.ParseUint(parts[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad seq %q", lineNo, parts[4])
+		}
+		e := Entry{
+			At:   simtime.Time(time.Duration(ns)),
+			Node: parts[1],
+			Kind: parts[2],
+			Type: parts[3],
+			Seq:  seq,
+		}
+		if len(parts) == 6 {
+			e.Note = parts[5]
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Diff compares two traces entry-by-entry and describes up to limit
+// mismatches (limit <= 0 means all). An empty result means the traces are
+// identical.
+func Diff(want, got []Entry, limit int) []string {
+	var out []string
+	add := func(s string) bool {
+		out = append(out, s)
+		return limit > 0 && len(out) >= limit
+	}
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			if add(fmt.Sprintf("entry %d:\n  want: %s\n  got:  %s", i, want[i].Canonical(), got[i].Canonical())) {
+				return out
+			}
+		}
+	}
+	for i := n; i < len(want); i++ {
+		if add(fmt.Sprintf("entry %d: missing (want: %s)", i, want[i].Canonical())) {
+			return out
+		}
+	}
+	for i := n; i < len(got); i++ {
+		if add(fmt.Sprintf("entry %d: unexpected (got: %s)", i, got[i].Canonical())) {
+			return out
+		}
+	}
+	return out
+}

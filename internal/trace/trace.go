@@ -67,8 +67,18 @@ func (l *Log) Addf(at simtime.Time, node, kind, typ string, seq uint64, note str
 // Len reports the entry count.
 func (l *Log) Len() int { return len(l.entries) }
 
-// Entries returns the raw entries (shared slice; callers must not mutate).
-func (l *Log) Entries() []Entry { return l.entries }
+// Entries returns a copy of the logged entries. Mutating the returned slice
+// cannot corrupt the log; callers that want to avoid the copy can use
+// AppendEntries with a reusable buffer.
+func (l *Log) Entries() []Entry {
+	return append([]Entry(nil), l.entries...)
+}
+
+// AppendEntries appends every logged entry to dst and returns the extended
+// slice — the allocation-conscious sibling of Entries.
+func (l *Log) AppendEntries(dst []Entry) []Entry {
+	return append(dst, l.entries...)
+}
 
 // Filter returns the entries matching all non-empty criteria.
 func (l *Log) Filter(node, kind, typ string) []Entry {
