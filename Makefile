@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench conformance fuzz goldens
+.PHONY: check vet build test race bench bench-smoke conformance fuzz goldens
 
 # check is the full PR gate: vet, build, race-enabled tests (the parallel
 # conformance runner and campaign pool run under -race via ./...), an
 # explicit conformance pass, a short fuzz smoke over the script language,
 # and a one-iteration pass over every benchmark so the perf suite always
-# compiles.
-check: vet build race conformance fuzz bench
+# compiles. Allocation budgets (TestFilterProcessAllocBudget and friends)
+# run in the non-race `test` pass, so hot-path alloc creep fails the gate.
+check: vet build test race conformance fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,8 +22,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+# bench-smoke runs every benchmark for one iteration so the perf suite
+# always compiles and executes; it makes no timing claims.
+bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run @ ./...
+
+# bench measures the script hot path — compiled VM vs the tree-walking
+# reference engine (the *Tree benchmarks) — and regenerates
+# BENCH_script.json with before/after numbers and deltas.
+bench:
+	$(GO) test -bench 'FilterProcess|InterpEval' -benchmem -benchtime 2s -count 1 -run @ . | \
+		$(GO) run ./tools/benchjson -out BENCH_script.json \
+		-note "before = tree-walking reference engine (PFI_SCRIPT_ENGINE=tree), after = compiled register VM, same host and run; PR 1 tree-walker baseline for BenchmarkFilterProcess was 962 ns/op, 116 B/op, 6 allocs/op"
 
 # conformance replays every .pfi scenario against its golden trace, serial
 # and through the worker pool.
@@ -31,11 +42,14 @@ conformance:
 
 # fuzz gives each native fuzz target a 10-second smoke. Corpus findings are
 # written to testdata/fuzz as usual; run longer locally when touching the
-# script parser.
+# script parser or compiler. FuzzCompiledParity is the differential oracle
+# for the register VM: tree-walker and compiled program must agree
+# byte-for-byte on result, error text, and output.
 fuzz:
 	$(GO) test -run @ -fuzz 'FuzzParse$$' -fuzztime 10s ./internal/script/
 	$(GO) test -run @ -fuzz 'FuzzEval$$' -fuzztime 10s ./internal/script/
 	$(GO) test -run @ -fuzz 'FuzzEvalExpr$$' -fuzztime 10s ./internal/script/
+	$(GO) test -run @ -fuzz 'FuzzCompiledParity$$' -fuzztime 10s ./internal/script/
 
 # goldens re-blesses every pinned artifact: conformance traces and rendered
 # experiment tables. Inspect the diff before committing.

@@ -1,0 +1,55 @@
+package pfi
+
+import (
+	"testing"
+
+	"pfi/internal/core"
+	"pfi/internal/message"
+	"pfi/internal/simtime"
+	"pfi/internal/stack"
+)
+
+// TestFilterProcessAllocBudget pins the steady-state allocation count of
+// the per-message filter path so regressions fail `make check` instead of
+// silently eroding campaign throughput. The budget matches the compiled-VM
+// number recorded in BENCH_script.json; raise it only with a bench entry
+// explaining why.
+//
+// The race detector instruments allocations, so the budget is only
+// meaningful (and only enforced) in normal builds.
+func TestFilterProcessAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	const budget = 2 // ISSUE: compiled hot path must stay ≤ 2 allocs/op
+
+	env := &stack.Env{Sched: simtime.NewScheduler(), Node: "alloc"}
+	l := core.NewLayer(env, core.WithStub(benchStub{}))
+	stk := stack.New(env, l)
+	stk.OnTransmit(func(m *message.Message) error { return nil })
+	if err := l.SetSendScript(`if {[msg_type cur_msg] eq "DATA"} {
+	if {![info exists dropped]} { set dropped 0 }
+	if {$dropped < 3} {
+		incr dropped
+		xDrop cur_msg
+	}
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+	m := message.NewString("payload-0123456789")
+	// Warm up: first sends compile the script and grow interpreter stacks.
+	for i := 0; i < 16; i++ {
+		if err := stk.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := stk.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("FilterProcess steady state allocates %.1f/op, budget is %d", avg, budget)
+	}
+}

@@ -276,6 +276,56 @@ func BenchmarkInterpEval(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterProcessTree is BenchmarkFilterProcess pinned to the
+// tree-walking reference engine, kept as the before/after yardstick for
+// the compiled VM on the same hot path.
+func BenchmarkFilterProcessTree(b *testing.B) {
+	env := &stack.Env{Sched: simtime.NewScheduler(), Node: "bench"}
+	l := core.NewLayer(env, core.WithStub(benchStub{}))
+	stk := stack.New(env, l)
+	stk.OnTransmit(func(m *message.Message) error { return nil })
+	l.SendFilter().Interp().SetEngine(script.EngineTree)
+	if err := l.SetSendScript(`if {[msg_type cur_msg] eq "DATA"} {
+	if {![info exists dropped]} { set dropped 0 }
+	if {$dropped < 3} {
+		incr dropped
+		xDrop cur_msg
+	}
+}
+`); err != nil {
+		b.Fatal(err)
+	}
+	m := message.NewString("payload-0123456789")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := stk.Send(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpEvalTree is BenchmarkInterpEval on the tree-walking
+// reference engine.
+func BenchmarkInterpEvalTree(b *testing.B) {
+	in := script.New()
+	in.SetEngine(script.EngineTree)
+	in.Register("msg_type", func(_ *script.Interp, args []string) (string, error) {
+		return "DATA", nil
+	})
+	s := script.MustParse(`
+		set type [msg_type cur_msg]
+		if {$type eq "DATA" && [string length $type] > 0} { incr seen }
+	`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // sweepStub recognizes a message's payload string as its type.
 type sweepStub struct{}
 

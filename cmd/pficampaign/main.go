@@ -25,6 +25,7 @@ import (
 
 	"pfi/internal/campaign"
 	"pfi/internal/core"
+	"pfi/internal/diag"
 	"pfi/internal/gmp"
 	"pfi/internal/netsim"
 	"pfi/internal/rudp"
@@ -39,9 +40,19 @@ func main() {
 		list    = flag.Bool("list", false, "print the generated cases and exit")
 		quiet   = flag.Bool("quiet", false, "suppress per-verdict progress lines")
 	)
+	prof := diag.Register()
 	flag.Parse()
-	if err := run(*workers, *types, *faults, *list, *quiet); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
+		os.Exit(1)
+	}
+	runErr := run(*workers, *types, *faults, *list, *quiet)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "pficampaign:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "pficampaign:", runErr)
 		os.Exit(1)
 	}
 }

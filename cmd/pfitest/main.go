@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"pfi/internal/conformance"
+	"pfi/internal/diag"
 	"pfi/internal/tcp"
 )
 
@@ -40,12 +41,21 @@ func main() {
 		diff    = flag.Bool("diff", false, "print golden diffs entry by entry")
 		verbose = flag.Bool("v", false, "print every verdict, not just failures")
 	)
+	prof := diag.Register()
 	flag.Parse()
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfitest:", err)
+		os.Exit(1)
+	}
 	ok, err := run(os.Stdout, config{
 		dir: *dir, golden: *golden, profile: *profile, runRx: *runRx,
 		workers: *workers, update: *update, diff: *diff, verbose: *verbose,
 	})
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintln(os.Stderr, "pfitest:", perr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pfitest:", err)
 		os.Exit(1)

@@ -1,0 +1,91 @@
+// Package diag wires the standard -cpuprofile/-memprofile/-trace flags
+// into PFI's command-line tools so campaign hot paths can be profiled
+// without ad-hoc builds: run the tool with a flag, feed the output to
+// `go tool pprof` or `go tool trace`.
+package diag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the profiling output paths registered on a FlagSet.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register adds -cpuprofile, -memprofile, and -trace to the default
+// command-line FlagSet.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write an allocation profile to `file` on exit")
+	flag.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to `file`")
+	return f
+}
+
+// Start begins CPU profiling and tracing if requested. It returns a stop
+// function that flushes every requested profile; the caller must invoke it
+// before os.Exit (defer is not enough on the os.Exit path).
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuOut, traceOut *os.File
+	cleanup := func() {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if traceOut != nil {
+			trace.Stop()
+			traceOut.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuOut, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceOut, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(traceOut); err != nil {
+			traceOut.Close()
+			traceOut = nil
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		cleanup()
+		if f.MemProfile != "" {
+			out, err := os.Create(f.MemProfile)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer out.Close()
+			runtime.GC() // flush outstanding allocations into the profile
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -170,7 +170,7 @@ func (in *Interp) evalBody(body string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return in.run(s)
+	return in.runAny(s)
 }
 
 func cmdWhile(in *Interp, args []string) (string, error) {
@@ -380,7 +380,7 @@ func cmdProc(in *Interp, args []string) (string, error) {
 		return "", err
 	}
 	pr.body = body
-	in.procs[name] = pr
+	in.defineProc(pr)
 	return "", nil
 }
 
@@ -424,7 +424,7 @@ func cmdEval(in *Interp, args []string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return in.run(s)
+	return in.runAny(s)
 }
 
 func cmdCatch(in *Interp, args []string) (string, error) {
@@ -474,7 +474,7 @@ func cmdGlobal(in *Interp, args []string) (string, error) {
 		return "", argErr("global varName ?varName ...?")
 	}
 	f := in.curFrame()
-	if f == in.global {
+	if f == nil {
 		return "", nil // no-op at global scope
 	}
 	if f.globals == nil {
@@ -1063,7 +1063,7 @@ func cmdInfo(in *Interp, args []string) (string, error) {
 		sort.Strings(names)
 		return ListJoin(names), nil
 	case "level":
-		return strconv.Itoa(len(in.frames) - 1), nil
+		return strconv.Itoa(len(in.frames)), nil
 	default:
 		return "", fmt.Errorf("bad info option %q", args[0])
 	}

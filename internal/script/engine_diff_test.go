@@ -1,0 +1,321 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// runEngine evaluates src on a fresh interpreter using the given engine
+// and returns the final result, error string ("" if nil), and everything
+// the script printed with puts.
+func runEngine(t *testing.T, eng Engine, src string, steps int) (string, string, string) {
+	t.Helper()
+	in := New()
+	in.SetEngine(eng)
+	if steps > 0 {
+		in.SetStepLimit(steps)
+	}
+	var out strings.Builder
+	in.SetOutput(&out)
+	res, err := in.Eval(src)
+	errs := ""
+	if err != nil {
+		errs = err.Error()
+	}
+	return res, errs, out.String()
+}
+
+// diffEval asserts that the tree-walker and the VM agree byte-for-byte on
+// result, error text, and output for src.
+func diffEval(t *testing.T, src string) {
+	t.Helper()
+	diffEvalSteps(t, src, 0)
+}
+
+func diffEvalSteps(t *testing.T, src string, steps int) {
+	t.Helper()
+	tr, te, to := runEngine(t, EngineTree, src, steps)
+	vr, ve, vo := runEngine(t, EngineVM, src, steps)
+	if tr != vr || te != ve || to != vo {
+		t.Errorf("engine divergence on %q:\n tree: res=%q err=%q out=%q\n   vm: res=%q err=%q out=%q",
+			src, tr, te, to, vr, ve, vo)
+	}
+}
+
+func TestEngineDiffBasics(t *testing.T) {
+	cases := []string{
+		``,
+		`set x 1`,
+		`set x 1; set y 2; expr {$x + $y}`,
+		`set x hello; string length $x`,
+		`puts [expr {1 + 2 * 3}]`,
+		`set a 5; if {$a > 3} { puts big } else { puts small }`,
+		`set a 1; if {$a > 3} { puts big } elseif {$a > 0} { puts mid } else { puts small }`,
+		`if {1} then { puts yes }`,
+		`set i 0; while {$i < 5} { incr i }; set i`,
+		`set s 0; foreach x {1 2 3 4} { set s [expr {$s + $x}] }; set s`,
+		`foreach {a b} {1 2 3 4 5} { puts "$a/$b" }`,
+		`foreach x {} { puts never }; puts done`,
+		`proc add {a b} { expr {$a + $b} }; add 2 3`,
+		`proc f {x {y 10}} { expr {$x * $y} }; puts [f 3]; puts [f 3 4]`,
+		`proc fact {n} { if {$n <= 1} { return 1 }; expr {$n * [fact [expr {$n - 1}]]} }; fact 6`,
+		`set x 3; incr x; incr x 10; incr x -2; set x`,
+		`set l [list a b c]; llength $l`,
+		`set s "a b {c d}"; lindex $s 2`,
+		`catch {undefined_cmd_xyz} msg; set msg`,
+		`catch {expr {1/0}} msg; set msg`,
+		`set x [catch {break}]; set x`,
+		`set x [catch {continue}]; set x`,
+		`set x [catch {return ok} v]; list $x $v`,
+		`string range "hello world" 0 4`,
+		`format "%d-%s" 42 xyz`,
+		`expr {"abc" eq "abc"}`,
+		`expr {3 > 2 ? "yes" : "no"}`,
+		`expr {0 ? [undefined_nope] : 7}`,
+		`expr {1 || [undefined_nope]}`,
+		`expr {0 && [undefined_nope]}`,
+		`set x 2; expr {$x == 2 && $x < 10}`,
+		`expr {-(-5)}`,
+		`expr {!0}`,
+		`expr {~5}`,
+		`expr {7 % 3}`,
+		`expr {-7 / 2}`,
+		`expr {-7 % 2}`,
+		`expr {1.5 + 2}`,
+		`expr {abs(-4)}`,
+		`expr {max(1, 9, 3)}`,
+		`expr {int(3.9)}`,
+		`expr 1 + 2`,
+		`set n 5; expr $n*2`,
+		`eval {set q 9}; set q`,
+		`eval set r 11; set r`,
+		`set body {set z 42}; eval $body; set z`,
+		`unknown_command one two`,
+		`set`,
+		`set a b c d`,
+		`incr`,
+		`incr novar`,
+		`set v ""; incr v`,
+		`set v abc; catch {incr v} m; set m`,
+		`incr x notanumber`,
+		`while {1} { break }; puts after`,
+		`set i 0; while {$i < 10} { incr i; if {$i == 5} { break } }; set i`,
+		`set i 0; set n 0; while {$i < 10} { incr i; if {$i % 2} { continue }; incr n }; list $i $n`,
+		`foreach x {1 2 3} { if {$x == 2} { break }; puts $x }`,
+		`foreach x {1 2 3} { if {$x == 2} { continue }; puts $x }`,
+		`set out {}; foreach i {1 2} { foreach j {a b} { if {$j eq "b"} { continue }; lappend out $i$j } }; set out`,
+		`break`,
+		`continue`,
+		`return`,
+		`return hello`,
+		`proc p {} { return }; p`,
+		`proc p {} { return x y }; catch {p} m; set m`,
+		`puts -nonewline abc; puts def`,
+		`set x "a\nb"; string length $x`,
+		`join {a b c} -`,
+		`split a-b-c -`,
+		`info exists nope`,
+		`set yes 1; info exists yes`,
+		`info level`,
+		`proc lv {} { info level }; lv`,
+		`string index hello 1`,
+		`string first ll hello`,
+		`append x a; append x b c; set x`,
+		`lappend l 1; lappend l 2 3; set l`,
+	}
+	for _, src := range cases {
+		diffEval(t, src)
+	}
+}
+
+func TestEngineDiffFlowEdges(t *testing.T) {
+	cases := []string{
+		// break/continue raised from nested eval inside a compiled loop:
+		// the static jump cannot apply, the dynamic flow path must.
+		`set i 0; while {$i < 5} { incr i; eval break }; set i`,
+		`set i 0; set n 0; while {$i < 5} { incr i; eval continue; incr n }; list $i $n`,
+		// flow raised from a proc body does NOT terminate the caller's loop;
+		// it surfaces as the proc's error/flow handling.
+		`proc b {} { break }; set r [catch {foreach x {1 2} { b }} m]; list $r $m`,
+		`proc c {} { continue }; set r [catch {while {1} { c }} m]; list $r $m`,
+		// break inside word expansion (argument position) of a command in a loop.
+		`set i 0; catch {while {$i < 3} { incr i; set x [break] }} m; list $i $m`,
+		`set i 0; catch {while {$i < 3} { incr i; puts [continue] }} m; list $i $m`,
+		// return from inside loop body in a proc.
+		`proc f {} { foreach x {1 2 3} { if {$x == 2} { return $x } }; return none }; f`,
+		`proc f {} { set i 0; while {1} { incr i; if {$i == 3} { return $i } } }; f`,
+		// break from the condition expression of while (cmd substitution in cond).
+		`proc g {} { break }; set r [catch {while {[g]} { puts body }} m]; list $r $m`,
+		// nested loops: break exits only the inner one.
+		`set out {}; foreach i {1 2} { set j 0; while {1} { incr j; if {$j == 2} { break } }; lappend out $i:$j }; set out`,
+		// continue at top level of an if inside the loop (static jump eligible).
+		`set out {}; foreach i {1 2 3 4} { if {$i == 2} { continue }; lappend out $i }; set out`,
+		// flow through foreach item expansion.
+		`catch {foreach x [break] { puts $x }} m; set m`,
+		// return with a command-substituted value.
+		`proc f {} { return [expr {6 * 7}] }; f`,
+	}
+	for _, src := range cases {
+		diffEval(t, src)
+	}
+}
+
+func TestEngineDiffShadowing(t *testing.T) {
+	cases := []string{
+		// Redefine special forms mid-script: compiled code must deoptimize.
+		`proc if {args} { return shadowed }; if {1} { puts never }`,
+		`set i 0
+while {$i < 3} { incr i }
+proc while {args} { return w2 }
+set r [while {$i < 99} { incr i }]
+list $i $r`,
+		`proc incr {v} { return fake }; set x 1; set r [incr x]; list $x $r`,
+		`proc set {args} { return shadow-set }; set x 5`,
+		`proc foreach {args} { return fe }; foreach x {1 2} { puts $x }`,
+		`proc expr {args} { return ee }; expr {1 + 1}`,
+		`proc break {} { return bb }; set i 0; while {$i < 2} { incr i; break }; set i`,
+		`proc return {args} { puts r }; proc f {} { return 5 }; f`,
+		// Shadow defined inside a loop that is already running.
+		`set out {}
+foreach i {1 2 3} {
+  if {$i == 2} { proc if {args} { return late } }
+  lappend out [if {1} { concat x$i }]
+}
+set out`,
+	}
+	for _, src := range cases {
+		diffEval(t, src)
+	}
+}
+
+func TestEngineDiffErrors(t *testing.T) {
+	cases := []string{
+		`if`,
+		`if {1}`,
+		`if {1} {puts a} trailing`,
+		`if {1} {puts a} else`,
+		`if {0} {puts a} elseif`,
+		`if {bad expr} { puts x }`,
+		`while`,
+		`while {1}`,
+		`while {bad expr} { puts x }`,
+		`while {notbool} { puts x }`,
+		`foreach`,
+		`foreach x`,
+		`foreach x {1 2}`,
+		`foreach {} {1 2} { puts y }`,
+		`foreach x {bad {list} { puts y }`,
+		`foreach x "a { b" { puts $x }`,
+		`expr`,
+		`expr {$undefined_var}`,
+		`expr {1 +}`,
+		`expr {foo(1)}`,
+		`puts $undefined_var`,
+		`set x $undefined_var`,
+		`concat a$missing b`,
+		`string length`,
+		`llength {a { b}`,
+		`proc`,
+		`proc p`,
+		`proc p {a} {body}; p`,
+		`proc p {a} {body}; p 1 2`,
+		`proc p {{a}} { set a }; catch {p} m; set m`,
+		`[}`,
+		`set x {unclosed`,
+		`"unclosed`,
+	}
+	for _, src := range cases {
+		diffEval(t, src)
+	}
+}
+
+func TestEngineDiffStepLimit(t *testing.T) {
+	cases := []string{
+		`while {1} { set x 1 }`,
+		`while {1} {}`,
+		`proc f {} { f }; f`,
+		`set i 0; while {$i < 100000} { incr i }`,
+		`foreach x {1 2 3 4 5 6 7 8 9 10} { foreach y {1 2 3 4 5 6 7 8 9 10} { set z $x$y } }`,
+	}
+	for _, src := range cases {
+		for _, steps := range []int{1, 2, 3, 7, 25, 100} {
+			diffEvalSteps(t, src, steps)
+		}
+	}
+}
+
+func TestEngineDiffStateful(t *testing.T) {
+	// Parity must hold across multiple Evals on one interpreter, where the
+	// program cache and global slots persist between calls.
+	scripts := []string{
+		`set count 0`,
+		`proc bump {} { global count; incr count }`,
+		`bump; bump; bump`,
+		`set count`,
+		`proc bump {} { global count; incr count 10 }`,
+		`bump`,
+		`set count`,
+		`unset count`,
+		`catch {set count} m; set m`,
+	}
+	runAll := func(eng Engine) (string, string) {
+		in := New()
+		in.SetEngine(eng)
+		var out strings.Builder
+		in.SetOutput(&out)
+		var last string
+		for _, s := range scripts {
+			r, err := in.Eval(s)
+			if err != nil {
+				last = "ERR:" + err.Error()
+			} else {
+				last = r
+			}
+			out.WriteString("|" + last)
+		}
+		return last, out.String()
+	}
+	tl, to := runAll(EngineTree)
+	vl, vo := runAll(EngineVM)
+	if tl != vl || to != vo {
+		t.Errorf("stateful divergence:\n tree: last=%q out=%q\n   vm: last=%q out=%q", tl, to, vl, vo)
+	}
+}
+
+func TestEngineDiffRegisterReplace(t *testing.T) {
+	// Replacing a registered command bumps the epoch: compiled invoke
+	// sites must re-resolve rather than calling the stale function.
+	for _, eng := range []Engine{EngineTree, EngineVM} {
+		in := New()
+		in.SetEngine(eng)
+		in.Register("probe", func(i *Interp, args []string) (string, error) { return "v1", nil })
+		r1, err := in.Eval(`probe`)
+		if err != nil || r1 != "v1" {
+			t.Fatalf("engine %v: first call got %q, %v", eng, r1, err)
+		}
+		in.Register("probe", func(i *Interp, args []string) (string, error) { return "v2", nil })
+		r2, err := in.Eval(`probe`)
+		if err != nil || r2 != "v2" {
+			t.Fatalf("engine %v: after replace got %q, %v", eng, r2, err)
+		}
+		in.Unregister("probe")
+		_, err = in.Eval(`probe`)
+		if err == nil || !strings.Contains(err.Error(), "invalid command name") {
+			t.Fatalf("engine %v: after unregister got err=%v", eng, err)
+		}
+	}
+}
+
+func TestEngineDefaultAndFlag(t *testing.T) {
+	in := New()
+	if in.EngineInUse() != EngineVM {
+		t.Fatalf("default engine = %v, want EngineVM", in.EngineInUse())
+	}
+	in.SetEngine(EngineTree)
+	if in.EngineInUse() != EngineTree {
+		t.Fatalf("after SetEngine(EngineTree) = %v", in.EngineInUse())
+	}
+	if _, err := in.Eval(`set x 1`); err != nil {
+		t.Fatalf("tree engine eval: %v", err)
+	}
+}

@@ -37,7 +37,7 @@ func boolv(b bool) value {
 func (v value) String() string {
 	switch v.kind {
 	case intVal:
-		return strconv.FormatInt(v.i, 10)
+		return itoaFast(v.i)
 	case floatVal:
 		s := strconv.FormatFloat(v.f, 'g', -1, 64)
 		if !strings.ContainsAny(s, ".eEnI") { // NaN/Inf contain n/I
@@ -79,13 +79,29 @@ func (v value) truth() (bool, error) {
 }
 
 // parseNumber interprets s as an integer (decimal or 0x hex) or float.
+//
+// The first-byte prefilter matters for the per-message hot path: strconv
+// allocates a *NumError on failure, and coerce calls parseNumber on every
+// operand — including plainly non-numeric message types like "DATA". Only
+// strings that could possibly start a number reach strconv. (i/I/n/N admit
+// Inf and NaN, which ParseFloat accepts.)
 func parseNumber(s string) (value, bool) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return value{}, false
 	}
-	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
-		return intv(i), true
+	switch c := s[0]; {
+	case c >= '0' && c <= '9', c == '+', c == '-', c == '.',
+		c == 'i', c == 'I', c == 'n', c == 'N':
+	default:
+		return value{}, false
+	}
+	// A '.' anywhere rules out an integer; skip the guaranteed ParseInt
+	// failure (and its error allocation) for float literals like "0.25".
+	if !strings.ContainsRune(s, '.') {
+		if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+			return intv(i), true
+		}
 	}
 	if f, err := strconv.ParseFloat(s, 64); err == nil {
 		return floatv(f), true
@@ -175,7 +191,7 @@ func (n *varNode) eval(in *Interp) (value, error) {
 type cmdNode struct{ body *Script }
 
 func (n *cmdNode) eval(in *Interp) (value, error) {
-	res, err := in.run(n.body)
+	res, err := in.runAny(n.body)
 	if err != nil {
 		return value{}, err
 	}

@@ -1,0 +1,38 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompiledParity feeds the same source to a fresh tree-walking
+// interpreter and a fresh VM interpreter and requires byte-identical
+// results, error text, and puts output. This is the primary correctness
+// oracle for the compiler: the tree-walker is the reference semantics.
+func FuzzCompiledParity(f *testing.F) {
+	seedCorpus(f)
+	f.Add(`set i 0; while {$i < 5} { incr i; eval break }`)
+	f.Add(`proc if {args} { return shadowed }; if {1} { puts never }`)
+	f.Add(`foreach {a b} {1 2 3} { puts $a$b }`)
+	f.Add(`expr {1 ? [concat a] : $nope}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		run := func(eng Engine) (res, errs, out string) {
+			in := New()
+			in.SetEngine(eng)
+			in.SetStepLimit(20000)
+			var b strings.Builder
+			in.SetOutput(&b)
+			r, err := in.Eval(src)
+			if err != nil {
+				return r, err.Error(), b.String()
+			}
+			return r, "", b.String()
+		}
+		tr, te, to := run(EngineTree)
+		vr, ve, vo := run(EngineVM)
+		if tr != vr || te != ve || to != vo {
+			t.Fatalf("engine divergence on %q:\n tree: res=%q err=%q out=%q\n   vm: res=%q err=%q out=%q",
+				src, tr, te, to, vr, ve, vo)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
 
@@ -60,7 +61,9 @@ func (e *EvalError) Error() string {
 	return fmt.Sprintf("%s (while executing %q near line %d)", e.Msg, e.Cmd, e.Line)
 }
 
-// frame is one level of variable scope: the global frame or a proc call.
+// frame is one proc call's variable scope. The global scope is not a frame:
+// it lives in the interpreter's slot table (see gslot) so the compiler can
+// resolve global variable names to integer indices.
 type frame struct {
 	vars    map[string]string
 	globals map[string]bool // names linked to the global frame via `global`
@@ -84,22 +87,87 @@ type procParam struct {
 	hasDefault bool
 }
 
+// Engine selects how the interpreter executes parsed scripts.
+type Engine int
+
+const (
+	// EngineVM compiles scripts to flat bytecode programs and executes
+	// them on the register VM (the default).
+	EngineVM Engine = iota
+	// EngineTree walks the AST directly — the reference implementation
+	// the VM is differentially tested against.
+	EngineTree
+)
+
+// DefaultEngine returns the engine New installs: the VM, unless the
+// PFI_SCRIPT_ENGINE environment variable selects the tree-walker
+// ("tree" or "walker") as an escape hatch.
+func DefaultEngine() Engine {
+	switch os.Getenv("PFI_SCRIPT_ENGINE") {
+	case "tree", "walker":
+		return EngineTree
+	}
+	return EngineVM
+}
+
+// gslot is one global variable. Globals live in a flat slot table rather
+// than a map so the compiler can resolve a literal variable name to an
+// integer index once, and so the VM can memoize the numeric interpretation
+// of a value between writes (num/numState).
+type gslot struct {
+	val      string
+	num      value // memoized numeric form, valid when numState == numIs
+	numState uint8
+	set      bool
+}
+
+const (
+	numUnknown uint8 = iota // val not yet parsed
+	numIs                   // num holds parseNumber(val)
+	numNot                  // val does not parse as a number
+)
+
+// maxGlobalSlots caps the name-interning table. Scripts that synthesize
+// unbounded variable names fall through to the overflow map, keeping the
+// slot table (which is never shrunk) bounded.
+const maxGlobalSlots = 8192
+
 // Interp is a Tcl-subset interpreter. State (variables, procs) persists
 // across Eval calls, which is what lets a PFI filter script keep counters
 // and phase flags between messages. Interp is not safe for concurrent use;
 // the simulation is single-threaded by design.
 type Interp struct {
-	global   *frame
-	frames   []*frame // call stack; frames[0] == global
-	commands map[string]Command
-	procs    map[string]*proc
-	scripts  *srcCache[*Script]  // parse cache for control-flow bodies
-	exprs    *srcCache[exprNode] // compile cache for expr conditions
-	wordBufs [][]string          // scratch buffers for expandCommand
-	out      io.Writer           // destination for puts
-	steps    int                 // commands executed since limit reset
-	maxSteps int                 // 0 = unlimited
-	depth    int                 // proc/eval recursion depth
+	gslots    []gslot
+	gslotOf   map[string]int    // global name -> slot index
+	goverflow map[string]string // globals past the intern cap
+	frames    []*frame          // proc call stack (empty at top level)
+	commands  map[string]Command
+	procs     map[string]*proc
+	scripts   *srcCache[*Script]  // parse cache for control-flow bodies
+	exprs     *srcCache[exprNode] // compile cache for expr conditions
+	progs     *srcCache[*Program] // VM programs compiled for the global frame
+	procProgs *srcCache[*Program] // VM programs compiled for proc frames
+	wordBufs  [][]string          // scratch buffers for expandCommand
+	out       io.Writer           // destination for puts
+	engine    Engine
+	steps     int // commands executed since limit reset
+	maxSteps  int // 0 = unlimited
+	depth     int // proc/eval recursion depth
+
+	// cmdEpoch invalidates the VM's per-call-site command caches; it bumps
+	// whenever the name->command/proc mapping changes. shadowMask marks
+	// special-form names (if, while, set, ...) whose builtin binding has
+	// been replaced or removed, forcing compiled special forms to
+	// deoptimize to generic dispatch.
+	cmdEpoch   uint64
+	shadowMask uint32
+
+	// VM scratch stacks, shared across nested exec calls (each call
+	// operates above its saved base indices).
+	vmArgs []string
+	vmVals []value
+	vmFes  []feState
+	vmBuf  []byte // concat scratch
 }
 
 const maxDepth = 200
@@ -107,20 +175,28 @@ const maxDepth = 200
 // New returns an interpreter with the core command set installed.
 // Output from puts is discarded unless SetOutput is called.
 func New() *Interp {
-	g := newFrame()
 	in := &Interp{
-		global:   g,
-		frames:   []*frame{g},
-		commands: make(map[string]Command),
-		procs:    make(map[string]*proc),
-		scripts:  newSrcCache[*Script](4096),
-		exprs:    newSrcCache[exprNode](4096),
-		out:      io.Discard,
-		maxSteps: 5_000_000,
+		gslotOf:   make(map[string]int),
+		commands:  make(map[string]Command),
+		procs:     make(map[string]*proc),
+		scripts:   newSrcCache[*Script](4096),
+		exprs:     newSrcCache[exprNode](4096),
+		progs:     newSrcCache[*Program](4096),
+		procProgs: newSrcCache[*Program](4096),
+		out:       io.Discard,
+		engine:    DefaultEngine(),
+		maxSteps:  5_000_000,
 	}
 	registerCore(in)
 	return in
 }
+
+// SetEngine switches the execution engine. The tree-walker is the reference
+// implementation; the VM must be observationally identical to it.
+func (in *Interp) SetEngine(e Engine) { in.engine = e }
+
+// EngineInUse reports the active execution engine.
+func (in *Interp) EngineInUse() Engine { return in.engine }
 
 // SetOutput directs puts output to w.
 func (in *Interp) SetOutput(w io.Writer) {
@@ -143,11 +219,61 @@ func (in *Interp) Register(name string, cmd Command) {
 	if cmd == nil {
 		panic("script: nil command for " + name)
 	}
+	if _, replaced := in.commands[name]; replaced {
+		in.markShadowed(name)
+	}
 	in.commands[name] = cmd
+	in.cmdEpoch++
 }
 
 // Unregister removes a host command.
-func (in *Interp) Unregister(name string) { delete(in.commands, name) }
+func (in *Interp) Unregister(name string) {
+	delete(in.commands, name)
+	in.markShadowed(name)
+	in.cmdEpoch++
+}
+
+// defineProc installs a script-defined procedure. Procs shadow host
+// commands, including the special forms the compiler inlines, so the
+// epoch and shadow mask must track definitions.
+func (in *Interp) defineProc(pr *proc) {
+	in.procs[pr.name] = pr
+	in.markShadowed(pr.name)
+	in.cmdEpoch++
+}
+
+// specialFormBit returns the shadow-mask bit for a special-form name the
+// compiler inlines, or 0 for every other name.
+func specialFormBit(name string) uint32 {
+	switch name {
+	case "if":
+		return 1 << 0
+	case "while":
+		return 1 << 1
+	case "foreach":
+		return 1 << 2
+	case "set":
+		return 1 << 3
+	case "incr":
+		return 1 << 4
+	case "expr":
+		return 1 << 5
+	case "return":
+		return 1 << 6
+	case "break":
+		return 1 << 7
+	case "continue":
+		return 1 << 8
+	}
+	return 0
+}
+
+// markShadowed records that name's builtin binding changed. Sticky by
+// design: rebinding a special form is rare, and once it has happened the
+// generic dispatch path is always correct.
+func (in *Interp) markShadowed(name string) {
+	in.shadowMask |= specialFormBit(name)
+}
 
 // HasCommand reports whether name resolves to a host command or proc.
 func (in *Interp) HasCommand(name string) bool {
@@ -173,47 +299,96 @@ func (in *Interp) CommandNames() []string {
 // SetVar sets a variable in the current frame (the global frame between
 // Eval calls). It is how host code passes values like `cur_msg` to scripts.
 func (in *Interp) SetVar(name, value string) {
-	f := in.curFrame()
-	if f.globals[name] {
-		in.global.vars[name] = value
+	if f := in.curFrame(); f != nil && !f.globals[name] {
+		f.vars[name] = value
 		return
 	}
-	f.vars[name] = value
+	in.gset(name, value)
 }
 
 // SetGlobal sets a variable in the global frame regardless of call depth.
 func (in *Interp) SetGlobal(name, value string) {
-	in.global.vars[name] = value
+	in.gset(name, value)
 }
 
 // Var reads a variable from the current frame (following `global` links).
 func (in *Interp) Var(name string) (string, bool) {
-	f := in.curFrame()
-	if f.globals[name] {
-		v, ok := in.global.vars[name]
+	if f := in.curFrame(); f != nil && !f.globals[name] {
+		v, ok := f.vars[name]
 		return v, ok
 	}
-	v, ok := f.vars[name]
-	return v, ok
+	return in.gget(name)
 }
 
 // Global reads a variable from the global frame.
 func (in *Interp) Global(name string) (string, bool) {
-	v, ok := in.global.vars[name]
-	return v, ok
+	return in.gget(name)
 }
 
 // UnsetVar removes a variable from the current frame.
 func (in *Interp) UnsetVar(name string) {
-	f := in.curFrame()
-	if f.globals[name] {
-		delete(in.global.vars, name)
+	if f := in.curFrame(); f != nil && !f.globals[name] {
+		delete(f.vars, name)
 		return
 	}
-	delete(f.vars, name)
+	in.gunset(name)
 }
 
-func (in *Interp) curFrame() *frame { return in.frames[len(in.frames)-1] }
+// curFrame returns the innermost proc frame, or nil at global scope.
+func (in *Interp) curFrame() *frame {
+	if n := len(in.frames); n > 0 {
+		return in.frames[n-1]
+	}
+	return nil
+}
+
+// gslotIndex interns name in the global slot table, returning -1 when the
+// table is full (the caller then uses the overflow map). With create=false
+// it only reports an existing slot.
+func (in *Interp) gslotIndex(name string, create bool) int {
+	if i, ok := in.gslotOf[name]; ok {
+		return i
+	}
+	if !create || len(in.gslots) >= maxGlobalSlots {
+		return -1
+	}
+	i := len(in.gslots)
+	in.gslots = append(in.gslots, gslot{})
+	in.gslotOf[name] = i
+	return i
+}
+
+func (in *Interp) gset(name, value string) {
+	if i := in.gslotIndex(name, true); i >= 0 {
+		s := &in.gslots[i]
+		s.val, s.set, s.numState = value, true, numUnknown
+		s.num = valueZero
+		return
+	}
+	if in.goverflow == nil {
+		in.goverflow = make(map[string]string)
+	}
+	in.goverflow[name] = value
+}
+
+func (in *Interp) gget(name string) (string, bool) {
+	if i, ok := in.gslotOf[name]; ok {
+		s := &in.gslots[i]
+		return s.val, s.set
+	}
+	v, ok := in.goverflow[name]
+	return v, ok
+}
+
+func (in *Interp) gunset(name string) {
+	if i, ok := in.gslotOf[name]; ok {
+		in.gslots[i] = gslot{}
+		return
+	}
+	delete(in.goverflow, name)
+}
+
+var valueZero value
 
 // Eval parses (with caching) and runs src at the top level, resetting the
 // step budget. It returns the result of the last command.
@@ -223,13 +398,15 @@ func (in *Interp) Eval(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	res, err := in.run(s)
-	var fl *flow
-	if errors.As(err, &fl) {
-		if fl.code == flowReturn {
-			return fl.value, nil // top-level return is permitted
+	res, err := in.runAny(s)
+	if err != nil {
+		var fl *flow
+		if errors.As(err, &fl) {
+			if fl.code == flowReturn {
+				return fl.value, nil // top-level return is permitted
+			}
+			return "", &EvalError{Msg: fl.Error()}
 		}
-		return "", &EvalError{Msg: fl.Error()}
 	}
 	return res, err
 }
@@ -237,15 +414,46 @@ func (in *Interp) Eval(src string) (string, error) {
 // Run executes a pre-parsed script at the top level.
 func (in *Interp) Run(s *Script) (string, error) {
 	in.steps = 0
-	res, err := in.run(s)
-	var fl *flow
-	if errors.As(err, &fl) {
-		if fl.code == flowReturn {
-			return fl.value, nil
+	res, err := in.runAny(s)
+	if err != nil {
+		var fl *flow
+		if errors.As(err, &fl) {
+			if fl.code == flowReturn {
+				return fl.value, nil
+			}
+			return "", &EvalError{Msg: fl.Error()}
 		}
-		return "", &EvalError{Msg: fl.Error()}
 	}
 	return res, err
+}
+
+// runAny executes a parsed script in the current frame with the active
+// engine. Every internal evaluation site (control-flow bodies, proc
+// bodies, eval, [command] operands in expr) funnels through here, so a
+// single flag flips the whole interpreter between engines.
+func (in *Interp) runAny(s *Script) (string, error) {
+	if in.engine == EngineTree {
+		return in.run(s)
+	}
+	return in.exec(in.program(s))
+}
+
+// program returns the VM program for s, compiling and memoizing on miss.
+// Global-scope and proc-scope compilations cache separately: the same body
+// text resolves variables to global slots in one and to frame maps in the
+// other.
+func (in *Interp) program(s *Script) *Program {
+	cache := in.progs
+	mode := modeGlobal
+	if len(in.frames) > 0 {
+		cache, mode = in.procProgs, modeProc
+	}
+	if p, ok := cache.get(s.src); ok {
+		return p
+	}
+	p := compileProgram(in, s, mode)
+	cache.put(s.src, p)
+	return p
 }
 
 // compile parses src, memoizing results so control-flow bodies evaluated
@@ -425,7 +633,7 @@ func (in *Interp) callProc(pr *proc, args []string, line int) (string, error) {
 	}
 	in.frames = append(in.frames, f)
 	defer func() { in.frames = in.frames[:len(in.frames)-1] }()
-	res, err := in.run(pr.body)
+	res, err := in.runAny(pr.body)
 	var fl *flow
 	if errors.As(err, &fl) && fl.code == flowReturn {
 		return fl.value, nil

@@ -1,0 +1,5 @@
+//go:build race
+
+package pfi
+
+const raceEnabled = true
