@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke conformance fuzz goldens
+.PHONY: check check-race vet build test race bench bench-smoke conformance fuzz explore goldens
 
 # check is the full PR gate: vet, build, race-enabled tests (the parallel
 # conformance runner and campaign pool run under -race via ./...), an
@@ -21,6 +21,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# check-race is the standalone race gate for CI pipelines that split the
+# detector run from the main check.
+check-race: race
 
 # bench-smoke runs every benchmark for one iteration so the perf suite
 # always compiles and executes; it makes no timing claims.
@@ -50,6 +54,15 @@ fuzz:
 	$(GO) test -run @ -fuzz 'FuzzEval$$' -fuzztime 10s ./internal/script/
 	$(GO) test -run @ -fuzz 'FuzzEvalExpr$$' -fuzztime 10s ./internal/script/
 	$(GO) test -run @ -fuzz 'FuzzCompiledParity$$' -fuzztime 10s ./internal/script/
+
+# explore runs a pinned-seed coverage-guided fuzz over the fault-schedule
+# space (~30s): a deterministic smoke that the explorer still converges and
+# that its known finding (silent corruption — the simulated TCP has no
+# checksum) is rediscovered and shrunk. Repros land in a throwaway dir;
+# promote one by copying it plus its golden into
+# internal/conformance/testdata/found/.
+explore:
+	$(GO) run ./cmd/pfifuzz -seed 1 -budget 1000 -workers 4 -q -out $$(mktemp -d /tmp/pfifuzz.XXXXXX)
 
 # goldens re-blesses every pinned artifact: conformance traces and rendered
 # experiment tables. Inspect the diff before committing.

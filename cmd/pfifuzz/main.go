@@ -1,0 +1,95 @@
+// Command pfifuzz explores the fault-schedule space with coverage-guided
+// fuzzing and shrinks every oracle violation to a committable .pfi repro
+// scenario plus golden trace.
+//
+// Usage:
+//
+//	pfifuzz                           # 1000 runs, seed 1, serial
+//	pfifuzz -seed 7 -budget 5000      # bigger, differently-seeded campaign
+//	pfifuzz -workers 8                # parallel evaluation (same results)
+//	pfifuzz -profile solaris          # vendor profile for unpinned schedules
+//	pfifuzz -out found/               # emit minimized repros + goldens here
+//	pfifuzz -q                        # suppress per-generation progress
+//
+// The same -seed yields a bit-for-bit identical exploration — corpus,
+// coverage fingerprint, findings, and emitted files — at any -workers
+// value. Exit status is 1 on an execution error, 0 otherwise (findings are
+// the product, not a failure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfi/internal/explore"
+	"pfi/internal/tcp"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "exploration seed (same seed: same run)")
+		budget  = flag.Int("budget", 1000, "candidate schedule evaluations")
+		workers = flag.Int("workers", 1, "parallel evaluation workers")
+		batch   = flag.Int("batch", 32, "candidates per deterministic generation")
+		profile = flag.String("profile", "", "default vendor profile for tcp schedules (default SunOS 4.1.3)")
+		out     = flag.String("out", "", "directory for minimized .pfi repros and golden traces (none: report only)")
+		quiet   = flag.Bool("q", false, "suppress per-generation progress lines")
+	)
+	flag.Parse()
+
+	opts := explore.Options{
+		Seed:      *seed,
+		Budget:    *budget,
+		Workers:   *workers,
+		BatchSize: *batch,
+		OutDir:    *out,
+	}
+	if *profile != "" {
+		prof, err := profileByName(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfifuzz:", err)
+			os.Exit(1)
+		}
+		opts.Profile = prof
+	}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep, err := explore.Fuzz(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfifuzz:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+}
+
+// profileByName resolves a -profile flag value with the same forgiving
+// matching the scenario `world tcp <name>` command uses.
+func profileByName(name string) (tcp.Profile, error) {
+	canon := func(s string) string {
+		s = strings.ToLower(s)
+		return strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return -1
+		}, s)
+	}
+	want := canon(name)
+	all := append(tcp.Profiles(), tcp.XKernel())
+	for _, p := range all {
+		if pc := canon(p.Name); pc == want || strings.HasPrefix(pc, want) {
+			return p, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return tcp.Profile{}, fmt.Errorf("unknown profile %q (have %s)", name, strings.Join(names, ", "))
+}

@@ -170,20 +170,48 @@ func Generate(spec Spec) ([]Case, error) {
 // buildScript renders the filter script for one (type, fault) pair.
 func buildScript(spec Spec, typ string, f FaultKind) (string, error) {
 	guard := fmt.Sprintf(`[msg_type cur_msg] eq "%s"`, typ)
+	return FaultSnippet(f, guard, SnippetParams{
+		DelayMS:       spec.DelayMS,
+		FirstN:        spec.FirstN,
+		CorruptOffset: spec.CorruptOffset,
+	})
+}
+
+// SnippetParams parameterizes FaultSnippet.
+type SnippetParams struct {
+	// DelayMS is the hold interval for Delay faults.
+	DelayMS int
+	// FirstN bounds DropFirstN faults.
+	FirstN int
+	// CorruptOffset is the byte index Corrupt faults flip.
+	CorruptOffset int
+	// StateSuffix disambiguates the filter-global state variables (the
+	// DropFirstN counter) when several snippets compose into one script.
+	// Must be a bare identifier fragment; empty is fine for a lone snippet.
+	StateSuffix string
+}
+
+// FaultSnippet renders the filter-script fragment that injects one fault
+// kind whenever guard (a Tcl expr condition) holds for the current message.
+// The campaign matrix builds its per-case scripts from these, and the
+// explore fuzzer composes several time-windowed snippets into a single
+// faultload — both speak the identical fault vocabulary.
+func FaultSnippet(f FaultKind, guard string, p SnippetParams) (string, error) {
 	switch f {
 	case Drop:
 		return fmt.Sprintf("if {%s} { xDrop cur_msg }\n", guard), nil
 	case DropFirstN:
+		v := "dropped" + p.StateSuffix
 		return fmt.Sprintf(`if {%s} {
-	if {![info exists dropped]} { set dropped 0 }
-	if {$dropped < %d} {
-		incr dropped
+	if {![info exists %s]} { set %s 0 }
+	if {$%s < %d} {
+		incr %s
 		xDrop cur_msg
 	}
 }
-`, guard, spec.FirstN), nil
+`, guard, v, v, v, p.FirstN, v), nil
 	case Delay:
-		return fmt.Sprintf("if {%s} { xDelay cur_msg %d }\n", guard, spec.DelayMS), nil
+		return fmt.Sprintf("if {%s} { xDelay cur_msg %d }\n", guard, p.DelayMS), nil
 	case Duplicate:
 		return fmt.Sprintf("if {%s} { xDuplicate cur_msg 1 }\n", guard), nil
 	case Corrupt:
@@ -192,7 +220,7 @@ func buildScript(spec Spec, typ string, f FaultKind) (string, error) {
 		msg_set_byte cur_msg %d [expr {[msg_byte cur_msg %d] ^ 0xFF}]
 	}
 }
-`, guard, spec.CorruptOffset, spec.CorruptOffset, spec.CorruptOffset), nil
+`, guard, p.CorruptOffset, p.CorruptOffset, p.CorruptOffset), nil
 	case Reorder:
 		return fmt.Sprintf(`if {%s} {
 	xHold cur_msg

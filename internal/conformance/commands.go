@@ -386,6 +386,13 @@ func registerCommands(in *script.Interp, h *harness) {
 		return strconv.Itoa(len(h.recv)), nil
 	})
 
+	in.Register("sent_len", func(_ *script.Interp, args []string) (string, error) {
+		if err := h.needTCP(); err != nil {
+			return "", err
+		}
+		return strconv.Itoa(len(h.sent)), nil
+	})
+
 	in.Register("recv_matches", func(_ *script.Interp, args []string) (string, error) {
 		if err := h.needTCP(); err != nil {
 			return "", err

@@ -2,6 +2,8 @@ package conformance
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -43,13 +45,18 @@ func requireOK(t *testing.T, r *Result) {
 // checkGolden compares (or, with -update, re-blesses) a result's trace.
 func checkGolden(t *testing.T, r *Result) {
 	t.Helper()
+	checkGoldenIn(t, goldenDir, r)
+}
+
+func checkGoldenIn(t *testing.T, dir string, r *Result) {
+	t.Helper()
 	if *update {
-		if err := UpdateGolden(goldenDir, r); err != nil {
+		if err := UpdateGolden(dir, r); err != nil {
 			t.Fatalf("%s: %v", r.Scenario, err)
 		}
 		return
 	}
-	diffs, err := CheckGolden(goldenDir, r)
+	diffs, err := CheckGolden(dir, r)
 	if err != nil {
 		t.Fatalf("%s: %v", r.Scenario, err)
 	}
@@ -66,6 +73,30 @@ func TestConformanceScenarios(t *testing.T) {
 			r := Run(sc, Options{})
 			requireOK(t, r)
 			checkGolden(t, r)
+		})
+	}
+}
+
+// TestConformanceFuzzerFound replays the repro scenarios the pfifuzz
+// explorer discovered and minimized (testdata/found). Each one pins a
+// deficient behavior — silently accepted corruption, lost-but-acked data —
+// as a permanent regression: the assertions and goldens hold today, and
+// any implementation change that moves the behavior (including fixing it)
+// must revisit the scenario deliberately.
+func TestConformanceFuzzerFound(t *testing.T) {
+	const foundDir = "testdata/found"
+	if _, err := os.Stat(foundDir); os.IsNotExist(err) {
+		t.Skip("no fuzzer-found scenarios committed yet")
+	}
+	scs, err := LoadDir(foundDir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	for _, sc := range scs {
+		t.Run(sc.Name, func(t *testing.T) {
+			r := Run(sc, Options{})
+			requireOK(t, r)
+			checkGoldenIn(t, filepath.Join(foundDir, "golden"), r)
 		})
 	}
 }

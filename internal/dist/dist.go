@@ -61,6 +61,39 @@ func (s *Source) Bernoulli(p float64) bool {
 // Intn returns a uniform integer in [0, n). n must be positive.
 func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
 
+// Weighted returns an index in [0, len(weights)) drawn with probability
+// proportional to weights[i]. Non-positive weights contribute no mass; if
+// the total mass is zero (or weights is empty after clamping) the draw
+// falls back to uniform. It panics on an empty slice, mirroring Intn.
+func (s *Source) Weighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return s.rng.Intn(len(weights))
+	}
+	x := s.rng.Float64() * total
+	for i, w := range weights {
+		if w <= 0 || math.IsInf(w, 1) || math.IsNaN(w) {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Float64 rounding can leave x at ~0; return the last positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
 // Int63 returns a uniform non-negative int64.
 func (s *Source) Int63() int64 { return s.rng.Int63() }
 

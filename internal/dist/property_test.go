@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The explore fuzzer's mutation engine leans on three invariants of this
+// package: every sampler respects its documented bounds, a fixed seed
+// reproduces the exact draw stream (schedules replay from -seed), and
+// Weighted's selection frequencies track the normalized weight vector
+// (whose mass must sum to ~1). These property tests pin all three.
+
+// Property: Uniform stays inside [lo, hi) for arbitrary finite bounds, in
+// either argument order.
+func TestPropertyUniformBounds(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true // bounds are caller-supplied finite parameters
+		}
+		if math.IsInf(b-a, 0) || math.IsInf(a-b, 0) {
+			return true // span overflows float64; range arithmetic is undefined
+		}
+		lo, hi := a, b
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := NewSource(seed).Uniform(a, b)
+		if lo == hi {
+			return v == lo
+		}
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Exponential draws are non-negative and a non-positive mean
+// yields exactly zero.
+func TestPropertyExponentialBounds(t *testing.T) {
+	f := func(seed int64, mean float64) bool {
+		v := NewSource(seed).Exponential(mean)
+		if mean <= 0 || math.IsNaN(mean) {
+			return v == 0
+		}
+		return v >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn and Weighted always return an in-range index.
+func TestPropertyIndexBounds(t *testing.T) {
+	f := func(seed int64, raw []float64, nSmall uint8) bool {
+		s := NewSource(seed)
+		n := int(nSmall%32) + 1
+		if v := s.Intn(n); v < 0 || v >= n {
+			return false
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		if v := s.Weighted(raw); v < 0 || v >= len(raw) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two sources built from the same seed produce identical streams
+// across every sampler — the replayability guarantee the fuzzer's -seed
+// flag depends on.
+func TestPropertyDeterministicStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b := NewSource(seed), NewSource(seed)
+		w := []float64{1, 0, 2.5, 3}
+		for i := 0; i < 20; i++ {
+			if a.Uniform(0, 10) != b.Uniform(0, 10) {
+				return false
+			}
+			if a.Normal(5, 2) != b.Normal(5, 2) {
+				return false
+			}
+			if a.Exponential(3) != b.Exponential(3) {
+				return false
+			}
+			if a.Bernoulli(0.4) != b.Bernoulli(0.4) {
+				return false
+			}
+			if a.Intn(17) != b.Intn(17) {
+				return false
+			}
+			if a.Weighted(w) != b.Weighted(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Weighted's empirical selection frequencies must match the normalized
+// weight vector, and that normalization must be a probability mass
+// (non-negative, summing to ~1).
+func TestWeightedMass(t *testing.T) {
+	weights := []float64{1, 4, 0, 2, 3, -7} // zero and negative entries carry no mass
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	norm := make([]float64, len(weights))
+	var mass float64
+	for i, w := range weights {
+		if w > 0 {
+			norm[i] = w / total
+		}
+		mass += norm[i]
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("normalized mass = %v, want ~1", mass)
+	}
+
+	s := NewSource(99)
+	const n = 200_000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[s.Weighted(weights)]++
+	}
+	for i, c := range counts {
+		freq := float64(c) / n
+		if norm[i] == 0 {
+			if c != 0 {
+				t.Errorf("index %d has weight <= 0 but was drawn %d times", i, c)
+			}
+			continue
+		}
+		if math.Abs(freq-norm[i]) > 0.01 {
+			t.Errorf("index %d drawn with frequency %.4f, want ~%.4f", i, freq, norm[i])
+		}
+	}
+}
+
+// Weighted with no positive mass falls back to uniform over all indexes.
+func TestWeightedZeroMassUniform(t *testing.T) {
+	s := NewSource(3)
+	weights := []float64{0, -1, 0}
+	counts := make([]int, len(weights))
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		counts[s.Weighted(weights)]++
+	}
+	for i, c := range counts {
+		if freq := float64(c) / n; math.Abs(freq-1.0/3) > 0.02 {
+			t.Errorf("zero-mass fallback index %d frequency %.4f, want ~0.333", i, freq)
+		}
+	}
+}
+
+// Weighted must tolerate NaN and +Inf entries (treated as zero mass) —
+// mutation-weight arithmetic can overflow without poisoning selection.
+func TestWeightedNonFinite(t *testing.T) {
+	s := NewSource(8)
+	weights := []float64{math.NaN(), 1, math.Inf(1), 1}
+	counts := make([]int, len(weights))
+	for i := 0; i < 10_000; i++ {
+		counts[s.Weighted(weights)]++
+	}
+	if counts[0] != 0 || counts[2] != 0 {
+		t.Fatalf("non-finite weights drew mass: %v", counts)
+	}
+	if counts[1] == 0 || counts[3] == 0 {
+		t.Fatalf("finite weights starved: %v", counts)
+	}
+}

@@ -1,0 +1,261 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"pfi/internal/campaign"
+	"pfi/internal/core"
+)
+
+// streamSpacingMS is the fixed inter-segment spacing of the TCP workload.
+// Keeping it constant (rather than a genome field) makes workload timing a
+// pure function of Warmup, so the compiler can schedule timeline events
+// with static `run` deltas.
+const streamSpacingMS = 250
+
+// Compile renders the schedule as a bare conformance scenario: world,
+// faultloads, workload, timeline, and a final probe block — no checks.
+// The fuzzer evaluates these; CompileRepro adds the oracle assertions.
+func Compile(s Schedule) (string, error) {
+	return compile(s, nil)
+}
+
+// compile renders the scenario, appending the given assertion lines (from
+// CompileRepro) after the probe block.
+func compile(s Schedule, checks []string) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+
+	// World declaration.
+	switch s.World {
+	case WorldTCP:
+		if s.Profile != "" {
+			fmt.Fprintf(&b, "world tcp {%s}\n", s.Profile)
+		} else {
+			b.WriteString("world tcp\n")
+		}
+	case WorldGMP:
+		fmt.Fprintf(&b, "world gmp %s\n", strings.Join(gmpNodeNames(s.Nodes), " "))
+	}
+
+	// Faultloads: every fault gene targeting the same (node, direction)
+	// composes into one filter script, each snippet guarded by its window.
+	type filterKey struct {
+		node string
+		dir  core.Direction
+	}
+	var order []filterKey
+	scripts := map[filterKey][]string{}
+	for i, g := range s.Genes {
+		if g.Kind != GeneFault {
+			continue
+		}
+		k := filterKey{g.Node, g.Dir}
+		if _, seen := scripts[k]; !seen {
+			order = append(order, k)
+		}
+		snippet, err := campaign.FaultSnippet(g.Fault, faultGuard(g), campaign.SnippetParams{
+			DelayMS:       g.Param,
+			FirstN:        g.Param,
+			CorruptOffset: g.Param,
+			StateSuffix:   fmt.Sprintf("_g%d", i),
+		})
+		if err != nil {
+			return "", err
+		}
+		scripts[k] = append(scripts[k], snippet)
+	}
+	for _, k := range order {
+		dir := "send"
+		if k.dir == core.Receive {
+			dir = "receive"
+		}
+		fmt.Fprintf(&b, "faultload %s %s {\n%s}\n", k.node, dir, strings.Join(scripts[k], ""))
+	}
+
+	// Workload.
+	if s.World == WorldTCP {
+		b.WriteString("tcp_dial\n")
+		fmt.Fprintf(&b, "tcp_stream %d %d\n", s.Warmup, streamSpacingMS)
+	} else {
+		b.WriteString("gmp_start\n")
+	}
+
+	// Timeline: driver-level genes become run/command pairs in time order.
+	elapsed := s.workloadEndMS()
+	for _, ev := range s.timeline() {
+		at := ev.atMS
+		if at < elapsed {
+			at = elapsed
+		}
+		if d := at - elapsed; d > 0 {
+			fmt.Fprintf(&b, "run %d\n", d)
+		}
+		elapsed = at
+		b.WriteString(ev.cmd)
+		b.WriteByte('\n')
+	}
+	if end := s.EndMS(); end > elapsed {
+		fmt.Fprintf(&b, "run %d\n", end-elapsed)
+	}
+
+	// Probe block: terminal state recorded into the shared trace so the
+	// Go-side oracles (and human readers of the golden) can judge the run.
+	if s.World == WorldTCP {
+		b.WriteString("log probe tcp state [tcp_state] unacked [tcp_unacked] sent [sent_len] recv [recv_len] match [recv_matches]\n")
+	} else {
+		for _, n := range gmpNodeNames(s.Nodes) {
+			fmt.Fprintf(&b, "log probe gmp %s trans [gmp_in_transition %s] group [gmp_group %s]\n", n, n, n)
+		}
+	}
+	for _, c := range checks {
+		b.WriteString(c)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// faultGuard renders a fault gene's activation condition: time window,
+// type selector, and probabilistic coin.
+func faultGuard(g Gene) string {
+	var conds []string
+	if g.AtMS > 0 {
+		conds = append(conds, fmt.Sprintf("[now] >= %d", g.AtMS))
+	}
+	if g.DurMS > 0 {
+		conds = append(conds, fmt.Sprintf("[now] < %d", g.AtMS+g.DurMS))
+	}
+	if g.Type != "" && g.Type != "*" {
+		conds = append(conds, fmt.Sprintf("[string match {%s} [msg_type cur_msg]]", g.Type))
+	}
+	if g.Prob > 0 && g.Prob < 1 {
+		conds = append(conds, fmt.Sprintf("[coin %g]", g.Prob))
+	}
+	if len(conds) == 0 {
+		return "1"
+	}
+	return strings.Join(conds, " && ")
+}
+
+// event is one timeline entry.
+type event struct {
+	atMS int
+	cmd  string
+}
+
+// timeline expands the driver-level genes (inject, partition, suspend,
+// unplug) into time-ordered commands, pairing each bounded window with its
+// closing command.
+func (s Schedule) timeline() []event {
+	var evs []event
+	for _, g := range sortGenesByTime(s.Genes) {
+		switch g.Kind {
+		case GeneInject:
+			dir := "send"
+			if g.Dir == core.Receive {
+				dir = "receive"
+			}
+			// Driver-side injection runs outside any filter pass, so the
+			// forged message needs explicit network addressing to be
+			// routable (and, for GMP, a credible sender).
+			src, dst := g.Node, s.peerOf(g.Node)
+			if g.Dir == core.Receive {
+				src, dst = dst, src
+			}
+			fields := fmt.Sprintf("src %s dst %s", src, dst)
+			if s.World == WorldGMP {
+				fields += " sender " + src
+			}
+			evs = append(evs, event{g.AtMS, fmt.Sprintf("inject %s %s %s {%s}", g.Node, dir, g.Type, fields)})
+		case GenePartition:
+			names := gmpNodeNames(s.Nodes)
+			evs = append(evs, event{g.AtMS, fmt.Sprintf("partition {%s} {%s}",
+				strings.Join(names[:g.Split], " "), strings.Join(names[g.Split:], " "))})
+			if g.DurMS > 0 {
+				evs = append(evs, event{g.AtMS + g.DurMS, "heal"})
+			}
+		case GeneSuspend:
+			evs = append(evs, event{g.AtMS, "gmp_suspend " + g.Node})
+			if g.DurMS > 0 {
+				evs = append(evs, event{g.AtMS + g.DurMS, "gmp_resume " + g.Node})
+			}
+		case GeneUnplug:
+			evs = append(evs, event{g.AtMS, "unplug " + g.Node})
+			if g.DurMS > 0 {
+				evs = append(evs, event{g.AtMS + g.DurMS, "replug " + g.Node})
+			}
+		}
+	}
+	// Closing commands can land before a later gene's opener; restore
+	// global time order (stable, so simultaneous events keep genome order).
+	return sortEventsByTime(evs)
+}
+
+func sortEventsByTime(evs []event) []event {
+	// Insertion sort: timelines are tiny and stability matters.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].atMS < evs[j-1].atMS; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	return evs
+}
+
+// CompileRepro renders the minimized schedule as a committable regression
+// scenario: a provenance header, the scenario body, and assertions pinning
+// the violating behavior the fuzzer observed. The scenario passes as-is
+// against the current implementation; if the behavior ever changes (the
+// deficiency gets fixed, or drifts further), the assertions or the golden
+// trace flag it.
+func CompileRepro(s Schedule, v Violation, seed int64) (string, error) {
+	checks := reproChecks(s, v)
+	body, err := compile(s, checks)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("# Fuzzer-found fault schedule, minimized by delta debugging.\n")
+	fmt.Fprintf(&b, "# oracle: %s — %s\n", v.Kind, v.Detail)
+	fmt.Fprintf(&b, "# pfifuzz -seed %d; schedule %s\n", seed, s.Hash())
+	b.WriteString("# The assertions pin the observed (deficient) behavior as a\n")
+	b.WriteString("# regression: a change here means the implementation moved.\n")
+	b.WriteString(body)
+	return b.String(), nil
+}
+
+// reproChecks renders the assertion lines that pin a violation.
+func reproChecks(s Schedule, v Violation) []string {
+	switch v.Kind {
+	case ViolSilentCorruption:
+		return []string{
+			`assert {[tcp_unacked] == 0} "sender believes every byte was acknowledged"`,
+			`assert {[recv_len] == [sent_len]} "every byte was delivered"`,
+			`assert {![recv_matches]} "delivered bytes differ from sent: corruption accepted undetected"`,
+		}
+	case ViolAckDesync:
+		return []string{
+			`assert {[tcp_unacked] == 0} "sender believes every byte was acknowledged"`,
+			`assert {[recv_len] < [sent_len]} "acknowledged bytes were never delivered"`,
+		}
+	case ViolStall:
+		return []string{
+			`assert {[tcp_state] eq "ESTABLISHED"} "connection still open"`,
+			`assert {[tcp_unacked] > 0} "sender still owes data"`,
+			`assert {![recv_matches]} "data never delivered despite a quiescent network"`,
+		}
+	case ViolSplitBrain:
+		a, b, _ := strings.Cut(v.Nodes, " ")
+		return []string{
+			fmt.Sprintf(`assert {[gmp_group %s] ne [gmp_group %s]} "membership views diverged after the network healed"`, a, b),
+		}
+	case ViolStuckTransition:
+		return []string{
+			fmt.Sprintf(`assert {[gmp_in_transition %s]} "member wedged mid view-transition after quiescence"`, v.Nodes),
+		}
+	default:
+		return nil
+	}
+}

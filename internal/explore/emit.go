@@ -1,0 +1,47 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pfi/internal/conformance"
+	"pfi/internal/tcp"
+)
+
+// ReproName is the emitted scenario's base name (no extension):
+// found_<world>_<kind>_<hash8>.
+func ReproName(s Schedule, v Violation) string {
+	return fmt.Sprintf("found_%s_%s_%s",
+		s.World, strings.ReplaceAll(v.Kind, "-", "_"), s.Hash()[:8])
+}
+
+// EmitRepro writes a minimized repro scenario and its golden trace under
+// dir (scenario at dir/<name>.pfi, golden under dir/golden/). Before
+// writing anything it replays the scenario and demands that every pinned
+// assertion holds — an emitted repro must pass as a normal conformance
+// test from the moment it lands.
+func EmitRepro(dir string, s Schedule, v Violation, src string, prof tcp.Profile) (path, goldenPath string, err error) {
+	name := ReproName(s, v)
+	r := conformance.Run(conformance.New(name, src), conformance.Options{Profile: prof})
+	if r.Err != nil {
+		return "", "", fmt.Errorf("explore: repro %s does not execute: %w", name, r.Err)
+	}
+	if failed := r.Failed(); len(failed) > 0 {
+		return "", "", fmt.Errorf("explore: repro %s does not pass its own assertions: %v", name, failed)
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("explore: %w", err)
+	}
+	path = filepath.Join(dir, name+conformance.Ext)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		return "", "", fmt.Errorf("explore: %w", err)
+	}
+	goldenDir := filepath.Join(dir, "golden")
+	if err := conformance.UpdateGolden(goldenDir, r); err != nil {
+		return "", "", err
+	}
+	return path, conformance.GoldenPath(goldenDir, r), nil
+}

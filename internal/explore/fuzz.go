@@ -1,0 +1,312 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"pfi/internal/campaign"
+	"pfi/internal/dist"
+	"pfi/internal/tcp"
+)
+
+// Options configures a fuzzing run.
+type Options struct {
+	// Seed drives every random decision; the same seed replays the same
+	// exploration bit-for-bit at any worker count.
+	Seed int64
+	// Budget is the number of candidate evaluations (shrink evaluations
+	// are accounted separately in Report.ShrinkRuns).
+	Budget int
+	// Workers is the evaluation fan-out (<=1: serial).
+	Workers int
+	// BatchSize is the generation size: candidates per deterministic
+	// derive-evaluate-merge cycle (default 32).
+	BatchSize int
+	// Profile is the default vendor profile for TCP worlds whose genome
+	// does not pin one (zero value: SunOS 4.1.3).
+	Profile tcp.Profile
+	// OutDir, when non-empty, is where minimized repro scenarios and
+	// golden traces are written (OutDir/found_*.pfi, OutDir/golden/).
+	OutDir string
+	// ShrinkBudget bounds predicate evaluations per finding (default 300).
+	ShrinkBudget int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+	// Context cancels the run between generations.
+	Context context.Context
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 1000
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.Profile.Name == "" {
+		o.Profile = tcp.SunOS413()
+	}
+	if o.ShrinkBudget <= 0 {
+		o.ShrinkBudget = 300
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+	return o
+}
+
+// Finding is one shrunk oracle violation.
+type Finding struct {
+	// Violation is the oracle breach as re-observed on the minimized
+	// schedule.
+	Violation Violation
+	// Schedule is the minimized genome.
+	Schedule Schedule
+	// Scenario is the committable repro source ("" for kinds that cannot
+	// be expressed as a passing scenario, i.e. exec-error).
+	Scenario string
+	// Path and GoldenPath are where the repro was emitted ("" when
+	// Options.OutDir was empty or the kind is not emittable).
+	Path       string
+	GoldenPath string
+}
+
+// Report summarizes a fuzzing run.
+type Report struct {
+	Seed         int64
+	Runs         int // candidate evaluations
+	ShrinkRuns   int // extra evaluations spent minimizing findings
+	Generations  int
+	CorpusSize   int
+	CoverageBits int
+	// Fingerprint hashes the final coverage map and the corpus schedule
+	// keys — the worker-count-invariant identity of the whole exploration.
+	Fingerprint string
+	Findings    []Finding
+}
+
+// String renders a one-paragraph summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %d runs (+%d shrink) over %d generations, corpus %d, %d coverage bits, fingerprint %s\n",
+		r.Seed, r.Runs, r.ShrinkRuns, r.Generations, r.CorpusSize, r.CoverageBits, r.Fingerprint)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %-17s %s", f.Violation.Kind, f.Violation.Detail)
+		if f.Path != "" {
+			fmt.Fprintf(&b, " -> %s", f.Path)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// corpusEntry is one admitted schedule with its coverage.
+type corpusEntry struct {
+	sched Schedule
+	cov   *Coverage
+}
+
+// Fuzz runs the coverage-guided exploration loop.
+//
+// Determinism: candidates are derived sequentially from the seeded source,
+// evaluated in parallel (each evaluation is a pure function of its
+// schedule), and merged strictly in candidate order — so corpus evolution,
+// findings, and the final fingerprint are identical for every worker
+// count.
+func Fuzz(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rng := dist.NewSource(opts.Seed)
+	rep := &Report{Seed: opts.Seed}
+
+	var (
+		corpus  []corpusEntry
+		global  = &Coverage{}
+		bitHits = make([]uint32, mapBits)
+		seen    = map[string]bool{} // schedule keys ever evaluated
+		found   = map[string]bool{} // violation signatures already shrunk
+	)
+
+	admit := func(o *Outcome) {
+		fresh := global.Merge(o.Cov)
+		if fresh == 0 {
+			return
+		}
+		o.Cov.Bits(func(bit int) { bitHits[bit]++ })
+		corpus = append(corpus, corpusEntry{sched: o.Schedule, cov: o.Cov})
+	}
+
+	handle := func(o *Outcome) error {
+		for _, v := range o.Violations {
+			sig := v.Signature(o.Schedule)
+			if found[sig] {
+				continue
+			}
+			found[sig] = true
+			f, err := shrinkAndEmit(o.Schedule, v, opts, rep)
+			if err != nil {
+				return err
+			}
+			rep.Findings = append(rep.Findings, f)
+			opts.Log("finding: %s (%s)", f.Violation.Kind, f.Violation.Detail)
+		}
+		return nil
+	}
+
+	evalBatch := func(batch []Schedule) ([]*Outcome, error) {
+		outs := make([]*Outcome, len(batch))
+		err := campaign.ForEach(opts.Context, opts.Workers, len(batch), func(i int) {
+			outs[i] = Evaluate(batch[i], opts.Profile)
+		})
+		rep.Runs += len(batch)
+		return outs, err
+	}
+
+	// Generation zero: the deterministic seed corpus.
+	seeds := seedCorpus()
+	for _, s := range seeds {
+		seen[s.Key()] = true
+	}
+	outs, err := evalBatch(seeds)
+	if err != nil {
+		return rep, err
+	}
+	for _, o := range outs {
+		admit(o)
+		if err := handle(o); err != nil {
+			return rep, err
+		}
+	}
+
+	for rep.Runs < opts.Budget {
+		if err := opts.Context.Err(); err != nil {
+			return rep, err
+		}
+		rep.Generations++
+		n := opts.BatchSize
+		if left := opts.Budget - rep.Runs; n > left {
+			n = left
+		}
+		// Derive candidates sequentially (the only rng consumer).
+		weights := corpusWeights(corpus, bitHits)
+		batch := make([]Schedule, 0, n)
+		for len(batch) < n {
+			var cand Schedule
+			if len(corpus) == 0 || rng.Bernoulli(0.15) {
+				cand = randSchedule(rng)
+			} else {
+				cand = mutate(rng, corpus[rng.Weighted(weights)].sched)
+			}
+			if k := cand.Key(); !seen[k] {
+				seen[k] = true
+				batch = append(batch, cand)
+			} else if rng.Bernoulli(0.5) {
+				// Mutation landed on a known genome; re-draw, but keep a
+				// bounded retry appetite so tiny schedules can't spin.
+				continue
+			} else {
+				batch = append(batch, cand)
+			}
+		}
+		outs, err := evalBatch(batch)
+		if err != nil {
+			return rep, err
+		}
+		for _, o := range outs {
+			admit(o)
+			if err := handle(o); err != nil {
+				return rep, err
+			}
+		}
+		opts.Log("gen %d: %d/%d runs, corpus %d, %d bits, %d finding(s)",
+			rep.Generations, rep.Runs, opts.Budget, len(corpus), global.Count(), len(rep.Findings))
+	}
+
+	rep.CorpusSize = len(corpus)
+	rep.CoverageBits = global.Count()
+	rep.Fingerprint = fingerprint(global, corpus)
+	return rep, nil
+}
+
+// corpusWeights scores each corpus entry by the rarity of the bits it
+// covers: sum of 1/hits over its bits. Schedules holding bits few others
+// reach get proportionally more mutation attention.
+func corpusWeights(corpus []corpusEntry, bitHits []uint32) []float64 {
+	w := make([]float64, len(corpus))
+	for i, e := range corpus {
+		score := 0.0
+		e.cov.Bits(func(bit int) {
+			if h := bitHits[bit]; h > 0 {
+				score += 1 / float64(h)
+			}
+		})
+		w[i] = score
+	}
+	return w
+}
+
+// fingerprint combines the coverage map and the ordered corpus keys.
+func fingerprint(global *Coverage, corpus []corpusEntry) string {
+	var b strings.Builder
+	b.WriteString(global.Fingerprint())
+	for _, e := range corpus {
+		b.WriteByte('\n')
+		b.WriteString(e.sched.Key())
+	}
+	return fmt.Sprintf("%016x", fnv64(b.String()))
+}
+
+// shrinkAndEmit minimizes one violating schedule and, for emittable kinds
+// with an output directory, writes the repro scenario and golden trace.
+func shrinkAndEmit(s Schedule, v Violation, opts Options, rep *Report) (Finding, error) {
+	predicate := func(c Schedule) bool {
+		o := Evaluate(c, opts.Profile)
+		for _, cv := range o.Violations {
+			if cv.Kind == v.Kind && cv.Nodes == v.Nodes {
+				return true
+			}
+		}
+		return false
+	}
+	min, runs := Shrink(s, predicate, opts.ShrinkBudget)
+	rep.ShrinkRuns += runs
+
+	// Re-observe on the minimized schedule for an accurate Detail.
+	final := v
+	for _, cv := range Evaluate(min, opts.Profile).Violations {
+		if cv.Kind == v.Kind && cv.Nodes == v.Nodes {
+			final = cv
+			break
+		}
+	}
+	rep.ShrinkRuns++
+
+	f := Finding{Violation: final, Schedule: min}
+	if final.Kind == ViolExecError {
+		return f, nil // cannot be expressed as a passing scenario
+	}
+
+	// Pin the repro to the concrete vendor profile so per-profile drift
+	// elsewhere cannot silently change this regression.
+	if min.World == WorldTCP && min.Profile == "" {
+		min.Profile = opts.Profile.Name
+		f.Schedule = min
+	}
+	src, err := CompileRepro(min, final, opts.Seed)
+	if err != nil {
+		return f, fmt.Errorf("explore: compiling repro: %w", err)
+	}
+	f.Scenario = src
+	if opts.OutDir == "" {
+		return f, nil
+	}
+	path, goldenPath, err := EmitRepro(opts.OutDir, min, final, src, opts.Profile)
+	if err != nil {
+		return f, err
+	}
+	f.Path, f.GoldenPath = path, goldenPath
+	return f, nil
+}

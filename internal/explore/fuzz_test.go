@@ -1,0 +1,182 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pfi/internal/conformance"
+)
+
+// runFuzz is the shared small-budget configuration. Under the race
+// detector every simulated world runs ~6x slower, so the budget drops:
+// the parallel merge path is still fully exercised, just across fewer
+// generations.
+func runFuzz(t *testing.T, seed int64, workers int, outDir string) *Report {
+	t.Helper()
+	budget, batch := 64, 16
+	if raceDetectorEnabled {
+		budget, batch = 24, 8
+	}
+	rep, err := Fuzz(Options{
+		Seed:      seed,
+		Budget:    budget,
+		BatchSize: batch,
+		Workers:   workers,
+		OutDir:    outDir,
+	})
+	if err != nil {
+		t.Fatalf("Fuzz: %v", err)
+	}
+	return rep
+}
+
+// TestFuzzFindsSeededCorruption: the seed corpus contains a corruption
+// window, so even a tiny budget must surface the silent-corruption
+// deficiency, shrink it, and emit a repro that passes as a conformance
+// test with a golden trace.
+func TestFuzzFindsSeededCorruption(t *testing.T) {
+	dir := t.TempDir()
+	rep := runFuzz(t, 1, 1, dir)
+
+	var f *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Violation.Kind == ViolSilentCorruption {
+			f = &rep.Findings[i]
+			break
+		}
+	}
+	if f == nil {
+		t.Fatalf("no silent-corruption finding in %d findings: %s", len(rep.Findings), rep)
+	}
+	if len(f.Schedule.Genes) != 1 {
+		t.Errorf("minimized corruption schedule has %d genes, want 1: %v", len(f.Schedule.Genes), f.Schedule.Genes)
+	}
+	if f.Path == "" || f.GoldenPath == "" {
+		t.Fatalf("finding not emitted: path=%q golden=%q", f.Path, f.GoldenPath)
+	}
+
+	// The emitted scenario must replay as a plain conformance test: load it
+	// from disk, run it, check its assertions and its golden.
+	sc, err := conformance.Load(f.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := conformance.Run(sc, conformance.Options{})
+	if r.Err != nil {
+		t.Fatalf("emitted repro errors: %v", r.Err)
+	}
+	if failed := r.Failed(); len(failed) > 0 {
+		t.Fatalf("emitted repro fails its own assertions: %v", failed)
+	}
+	diffs, err := conformance.CheckGolden(filepath.Join(dir, "golden"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) > 0 {
+		t.Fatalf("emitted repro diverges from its own golden: %v", diffs)
+	}
+
+	// Provenance header present.
+	if !strings.Contains(f.Scenario, "# oracle: silent-corruption") {
+		t.Errorf("repro missing provenance header:\n%s", f.Scenario)
+	}
+}
+
+// TestFuzzDeterministicAcrossWorkers is the worker-invariance regression:
+// the same seed must produce a bit-for-bit identical exploration — corpus
+// fingerprint, coverage, findings, and emitted repro bytes — at 1 and 8
+// workers.
+func TestFuzzDeterministicAcrossWorkers(t *testing.T) {
+	dir1, dir8 := t.TempDir(), t.TempDir()
+	rep1 := runFuzz(t, 7, 1, dir1)
+	rep8 := runFuzz(t, 7, 8, dir8)
+
+	if rep1.Fingerprint != rep8.Fingerprint {
+		t.Errorf("corpus fingerprint diverges: 1 worker %s, 8 workers %s", rep1.Fingerprint, rep8.Fingerprint)
+	}
+	if rep1.CorpusSize != rep8.CorpusSize || rep1.CoverageBits != rep8.CoverageBits {
+		t.Errorf("corpus/coverage diverge: %d/%d vs %d/%d",
+			rep1.CorpusSize, rep1.CoverageBits, rep8.CorpusSize, rep8.CoverageBits)
+	}
+	if rep1.Runs != rep8.Runs || rep1.ShrinkRuns != rep8.ShrinkRuns {
+		t.Errorf("run counts diverge: %d+%d vs %d+%d", rep1.Runs, rep1.ShrinkRuns, rep8.Runs, rep8.ShrinkRuns)
+	}
+	if len(rep1.Findings) != len(rep8.Findings) {
+		t.Fatalf("finding counts diverge: %d vs %d", len(rep1.Findings), len(rep8.Findings))
+	}
+	for i := range rep1.Findings {
+		a, b := rep1.Findings[i], rep8.Findings[i]
+		if a.Violation != b.Violation || a.Schedule.Key() != b.Schedule.Key() {
+			t.Errorf("finding %d diverges: %+v vs %+v", i, a.Violation, b.Violation)
+		}
+	}
+	if a, b := emittedSet(t, dir1), emittedSet(t, dir8); a != b {
+		t.Errorf("emitted file sets diverge:\n1 worker:\n%s\n8 workers:\n%s", a, b)
+	}
+}
+
+// emittedSet renders dir's emitted scenarios as "name:len" lines plus a
+// content hash, sorted — a cheap bytes-level equality check.
+func emittedSet(t *testing.T, dir string) string {
+	t.Helper()
+	var lines []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		lines = append(lines, rel+":"+fmtHash(data))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func fmtHash(b []byte) string {
+	h := fnv64(string(b))
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		out[i] = hexdigits[h&0xf]
+		h >>= 4
+	}
+	return string(out)
+}
+
+// TestFuzzSameSeedSameRun: two identical invocations are bit-for-bit equal.
+func TestFuzzSameSeedSameRun(t *testing.T) {
+	a := runFuzz(t, 3, 4, "")
+	b := runFuzz(t, 3, 4, "")
+	if a.Fingerprint != b.Fingerprint || a.CorpusSize != b.CorpusSize || len(a.Findings) != len(b.Findings) {
+		t.Errorf("same seed diverged: %s vs %s", a, b)
+	}
+}
+
+// TestFuzzDifferentSeedsDiverge: the seed actually steers exploration.
+func TestFuzzDifferentSeedsDiverge(t *testing.T) {
+	a := runFuzz(t, 3, 4, "")
+	b := runFuzz(t, 4, 4, "")
+	if a.Fingerprint == b.Fingerprint {
+		t.Error("different seeds produced identical explorations")
+	}
+}
+
+// TestReproNameShape pins the emitted filename convention.
+func TestReproNameShape(t *testing.T) {
+	s := seedCorpus()[2]
+	v := Violation{Kind: ViolSilentCorruption}
+	name := ReproName(s, v)
+	if !strings.HasPrefix(name, "found_tcp_silent_corruption_") || len(name) != len("found_tcp_silent_corruption_")+8 {
+		t.Errorf("unexpected repro name %q", name)
+	}
+}
