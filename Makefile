@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-race vet build test race bench bench-smoke conformance fuzz explore goldens
+.PHONY: check check-race vet build test race bench bench-smoke conformance fuzz explore goldens harden
 
 # check is the full PR gate: vet, build, race-enabled tests (the parallel
 # conformance runner and campaign pool run under -race via ./...), an
@@ -63,6 +63,16 @@ fuzz:
 # internal/conformance/testdata/found/.
 explore:
 	$(GO) run ./cmd/pfifuzz -seed 1 -budget 1000 -workers 4 -q -out $$(mktemp -d /tmp/pfifuzz.XXXXXX)
+
+# harden exercises the run-isolation layer under the race detector: the
+# harden package's watchdog/budget/retry edge cases plus the containment
+# and worker-invariance regressions it feeds in campaign, conformance,
+# explore, and interpose (quarantine replay, crash/livelock sweeps,
+# graceful drain).
+harden:
+	$(GO) test -race ./internal/harden/
+	$(GO) test -race -run 'ForEach|Sweep|Quarantin|Runaway|TraceBudget|ZeroConfig|ContainedFailures|EvaluateContains|Drain|Oversized' \
+		./internal/campaign/ ./internal/conformance/ ./internal/explore/ ./internal/interpose/
 
 # goldens re-blesses every pinned artifact: conformance traces and rendered
 # experiment tables. Inspect the diff before committing.

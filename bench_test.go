@@ -25,6 +25,7 @@ import (
 
 	"pfi/internal/campaign"
 	"pfi/internal/core"
+	"pfi/internal/harden"
 	"pfi/internal/exp"
 	"pfi/internal/message"
 	"pfi/internal/script"
@@ -340,7 +341,7 @@ func (sweepStub) Generate(typ string, fields map[string]string) (*message.Messag
 // sweepScenario is one deterministic CPU-bound case: a single-node world
 // whose PFI layer filters a few thousand messages under the generated
 // fault script.
-func sweepScenario(c campaign.Case) (bool, string, error) {
+func sweepScenario(_ *harden.Monitor, c campaign.Case) (bool, string, error) {
 	env := &stack.Env{Sched: simtime.NewScheduler(), Node: "bench"}
 	l := core.NewLayer(env, core.WithStub(sweepStub{}))
 	stk := stack.New(env, l)

@@ -13,6 +13,12 @@
 // Each case boots a fresh 3-daemon GMP cluster, faults one daemon's
 // traffic with the generated filter script, and checks the healthy pair
 // still converges to a common membership view.
+//
+// Every case runs through the harden isolation layer: a panicking or
+// livelocked cell becomes one CRASH/LIVELOCK verdict instead of killing
+// the sweep. The -run-timeout, -stall-steps, and -budget-* flags tune the
+// watchdogs and resource budgets; -quarantine emits a headered .pfi repro
+// for every deterministic contained failure.
 package main
 
 import (
@@ -27,9 +33,11 @@ import (
 	"pfi/internal/core"
 	"pfi/internal/diag"
 	"pfi/internal/gmp"
+	"pfi/internal/harden"
 	"pfi/internal/netsim"
 	"pfi/internal/rudp"
 	"pfi/internal/stack"
+	"pfi/internal/trace"
 )
 
 func main() {
@@ -39,15 +47,18 @@ func main() {
 		faults  = flag.String("faults", "drop,drop-first-n,delay,duplicate,reorder", "comma-separated fault kinds")
 		list    = flag.Bool("list", false, "print the generated cases and exit")
 		quiet   = flag.Bool("quiet", false, "suppress per-verdict progress lines")
+		quar    = flag.String("quarantine", "", "directory for .pfi repros of deterministic contained failures")
 	)
+	hcfg := harden.Flags(flag.CommandLine)
 	prof := diag.Register()
 	flag.Parse()
+	hcfg.ReproDir = *quar
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
 		os.Exit(1)
 	}
-	runErr := run(*workers, *types, *faults, *list, *quiet)
+	runErr := run(*workers, *types, *faults, *list, *quiet, *hcfg)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
 	}
@@ -57,7 +68,7 @@ func main() {
 	}
 }
 
-func run(workers int, types, faults string, list, quiet bool) error {
+func run(workers int, types, faults string, list, quiet bool, hcfg harden.Config) error {
 	kinds, err := parseFaults(faults)
 	if err != nil {
 		return err
@@ -78,17 +89,10 @@ func run(workers int, types, faults string, list, quiet bool) error {
 		return nil
 	}
 	fmt.Printf("sweeping %d cases with %d worker(s)\n", len(cases), workers)
-	opts := campaign.Options{Workers: workers}
+	opts := campaign.Options{Workers: workers, Harden: hcfg, Repro: reproScenario}
 	if !quiet {
 		opts.OnVerdict = func(v campaign.Verdict) {
-			status := "PASS"
-			switch {
-			case v.Err != nil:
-				status = "ERROR"
-			case !v.OK:
-				status = "FAIL"
-			}
-			fmt.Printf("%-5s %s (%s)\n", status, v.Case.Name, v.Elapsed.Round(time.Millisecond))
+			fmt.Printf("%-8s %s (%s)\n", v.Status(), v.Case.Name, v.Elapsed.Round(time.Millisecond))
 		}
 	}
 	verdicts, stats, err := campaign.RunParallel(spec, gmpScenario, opts)
@@ -132,15 +136,36 @@ func parseFaults(s string) ([]campaign.FaultKind, error) {
 	return kinds, nil
 }
 
+// reproScenario renders a campaign case as committable conformance
+// scenario source, so a contained failure can be quarantined as a .pfi
+// repro that replays the same cluster, faultload, and runtime.
+func reproScenario(c campaign.Case) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# campaign case: %s\n", c.Name)
+	b.WriteString("world gmp gmd1 gmd2 gmd3\n")
+	for _, n := range []string{"gmd1", "gmd2", "gmd3"} {
+		fmt.Fprintf(&b, "gmp_start %s\n", n)
+	}
+	fmt.Fprintf(&b, "faultload gmd3 %s {%s}\n", c.Dir, strings.TrimRight(c.Script, "\n"))
+	b.WriteString("run 3m\n")
+	b.WriteString("log \"group gmd1 [gmp_group gmd1]\"\n")
+	b.WriteString("log \"group gmd2 [gmp_group gmd2]\"\n")
+	return b.String()
+}
+
 // gmpScenario boots a fresh 3-daemon cluster, faults gmd3's traffic per
 // the case, and checks that gmd1 and gmd2 still share a view. Every call
 // builds its own world, so cases are independent and safe to run in
-// parallel.
-func gmpScenario(c campaign.Case) (bool, string, error) {
+// parallel. The isolation monitor is attached to the world's scheduler
+// and trace log so watchdogs and budgets can meter the run.
+func gmpScenario(m *harden.Monitor, c campaign.Case) (bool, string, error) {
 	names := []string{"gmd1", "gmd2", "gmd3"}
 	w := netsim.NewWorld(2026)
+	log := trace.NewLog()
+	w.SetTrace(log)
 	daemons := map[string]*gmp.Daemon{}
 	var victim *core.Layer
+	var pfis []*core.Layer
 	for _, name := range names {
 		node, err := w.AddNode(name)
 		if err != nil {
@@ -154,10 +179,18 @@ func gmpScenario(c campaign.Case) (bool, string, error) {
 			return false, "", err
 		}
 		daemons[name] = gmd
+		pfis = append(pfis, pfi)
 		if name == "gmd3" {
 			victim = pfi
 		}
 	}
+	m.Attach(w.Sched, log, func() int {
+		n := 0
+		for _, l := range pfis {
+			n += l.SendFilter().Stats().Injected + l.ReceiveFilter().Stats().Injected
+		}
+		return n
+	})
 	if err := w.ConnectAll(netsim.LinkConfig{Latency: 2 * time.Millisecond}); err != nil {
 		return false, "", err
 	}

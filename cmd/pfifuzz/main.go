@@ -11,6 +11,15 @@
 //	pfifuzz -out found/               # emit minimized repros + goldens here
 //	pfifuzz -q                        # suppress per-generation progress
 //
+// Every candidate runs through the harden isolation layer: a panicking
+// world surfaces as a tool-fault finding, a stalled one as livelock, an
+// over-budget one as budget-exceeded — never a dead fuzzer. The
+// -stall-steps and -budget-* flags tune the simulated-time watchdogs
+// (those findings stay deterministic across machines); -quarantine is
+// where shrunk contained failures land as headered .pfi repros.
+// -run-timeout also works but its timeouts are wall-clock and therefore
+// machine-dependent: reported, never emitted.
+//
 // The same -seed yields a bit-for-bit identical exploration — corpus,
 // coverage fingerprint, findings, and emitted files — at any -workers
 // value. Exit status is 1 on an execution error, 0 otherwise (findings are
@@ -24,6 +33,7 @@ import (
 	"strings"
 
 	"pfi/internal/explore"
+	"pfi/internal/harden"
 	"pfi/internal/tcp"
 )
 
@@ -36,15 +46,19 @@ func main() {
 		profile = flag.String("profile", "", "default vendor profile for tcp schedules (default SunOS 4.1.3)")
 		out     = flag.String("out", "", "directory for minimized .pfi repros and golden traces (none: report only)")
 		quiet   = flag.Bool("q", false, "suppress per-generation progress lines")
+		quar    = flag.String("quarantine", "", "directory for .pfi repros of contained failures (tool-fault, livelock, budget-exceeded)")
 	)
+	hcfg := harden.Flags(flag.CommandLine)
 	flag.Parse()
 
 	opts := explore.Options{
-		Seed:      *seed,
-		Budget:    *budget,
-		Workers:   *workers,
-		BatchSize: *batch,
-		OutDir:    *out,
+		Seed:          *seed,
+		Budget:        *budget,
+		Workers:       *workers,
+		BatchSize:     *batch,
+		OutDir:        *out,
+		QuarantineDir: *quar,
+		Harden:        *hcfg,
 	}
 	if *profile != "" {
 		prof, err := profileByName(*profile)

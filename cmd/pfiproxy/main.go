@@ -11,6 +11,13 @@
 // Point the client at the -listen address; the upstream server needs no
 // changes. Scripts use the same commands as the simulated experiments
 // (xDrop, xDelay, xDuplicate, msg_set_byte, coin, ...).
+//
+// Datagrams larger than -max-datagram are dropped at the socket and
+// counted; forwarding writes carry deadlines so a wedged peer cannot
+// stall the proxy. The first ctrl-c drains gracefully — no new datagrams
+// are accepted, in-flight delayed forwards flush for up to
+// -drain-timeout, stats print, and the proxy exits 0. A second ctrl-c
+// forces an immediate exit.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"pfi/internal/core"
 	"pfi/internal/interpose"
@@ -28,19 +36,21 @@ func main() {
 	upstream := flag.String("upstream", "", "address of the real server (required)")
 	sendScript := flag.String("send-script", "", "filter script file for traffic toward clients")
 	recvScript := flag.String("recv-script", "", "filter script file for traffic toward the upstream")
+	maxDgram := flag.Int("max-datagram", 64*1024, "drop datagrams larger than this many bytes")
+	drainTO := flag.Duration("drain-timeout", 3*time.Second, "how long ctrl-c waits for in-flight traffic to flush")
 	flag.Parse()
 
-	if err := run(*listen, *upstream, *sendScript, *recvScript); err != nil {
+	if err := run(*listen, *upstream, *sendScript, *recvScript, *maxDgram, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, "pfiproxy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, upstream, sendScript, recvScript string) error {
+func run(listen, upstream, sendScript, recvScript string, maxDgram int, drainTO time.Duration) error {
 	if upstream == "" {
 		return fmt.Errorf("-upstream is required")
 	}
-	p, err := interpose.New(interpose.Config{Listen: listen, Upstream: upstream})
+	p, err := interpose.New(interpose.Config{Listen: listen, Upstream: upstream, MaxDatagram: maxDgram})
 	if err != nil {
 		return err
 	}
@@ -74,19 +84,28 @@ func run(listen, upstream, sendScript, recvScript string) error {
 	}
 
 	fmt.Printf("pfiproxy: listening on %s, upstream %s\n", p.Addr(), upstream)
-	fmt.Println("pfiproxy: ctrl-c to stop")
+	fmt.Println("pfiproxy: ctrl-c to drain and stop")
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	fmt.Println("\npfiproxy: draining (ctrl-c again to force quit)")
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "pfiproxy: forced exit")
+		os.Exit(1)
+	}()
 
-	var sendStats, recvStats core.Stats
-	if err := p.Do(func(l *core.Layer) {
-		sendStats = l.SendFilter().Stats()
-		recvStats = l.ReceiveFilter().Stats()
-	}); err == nil {
-		fmt.Printf("\npfiproxy: toward upstream: %+v\n", recvStats)
-		fmt.Printf("pfiproxy: toward clients:  %+v\n", sendStats)
+	if err := p.Drain(drainTO); err != nil {
+		return err
+	}
+	// Drain waited for the event loop to exit, so the layer is quiescent.
+	recvStats := p.Layer().ReceiveFilter().Stats()
+	sendStats := p.Layer().SendFilter().Stats()
+	fmt.Printf("pfiproxy: toward upstream: %+v\n", recvStats)
+	fmt.Printf("pfiproxy: toward clients:  %+v\n", sendStats)
+	if n := p.OversizedDropped(); n > 0 {
+		fmt.Printf("pfiproxy: dropped %d oversized datagram(s)\n", n)
 	}
 	return nil
 }

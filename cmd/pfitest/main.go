@@ -12,6 +12,12 @@
 //	pfitest -update                  # re-bless the golden traces
 //	pfitest -v                       # print every verdict, not just failures
 //
+// Every scenario replays through the harden isolation layer: a panicking
+// or livelocked scenario becomes one CRASH/LIVELOCK line instead of
+// killing the suite. The -run-timeout, -stall-steps, and -budget-* flags
+// tune the watchdogs and budgets; -quarantine emits a headered .pfi repro
+// for each deterministic contained failure.
+//
 // Exit status is 0 when every scenario executed, every expect held, and
 // every golden matched; 1 otherwise.
 package main
@@ -27,6 +33,7 @@ import (
 
 	"pfi/internal/conformance"
 	"pfi/internal/diag"
+	"pfi/internal/harden"
 	"pfi/internal/tcp"
 )
 
@@ -40,9 +47,12 @@ func main() {
 		update  = flag.Bool("update", false, "re-bless golden traces instead of checking them")
 		diff    = flag.Bool("diff", false, "print golden diffs entry by entry")
 		verbose = flag.Bool("v", false, "print every verdict, not just failures")
+		quar    = flag.String("quarantine", "", "directory for .pfi repros of deterministic contained failures")
 	)
+	hcfg := harden.Flags(flag.CommandLine)
 	prof := diag.Register()
 	flag.Parse()
+	hcfg.ReproDir = *quar
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -52,6 +62,7 @@ func main() {
 	ok, err := run(os.Stdout, config{
 		dir: *dir, golden: *golden, profile: *profile, runRx: *runRx,
 		workers: *workers, update: *update, diff: *diff, verbose: *verbose,
+		harden: *hcfg,
 	})
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, "pfitest:", perr)
@@ -90,6 +101,7 @@ type config struct {
 	dir, golden, profile, runRx string
 	workers                     int
 	update, diff, verbose       bool
+	harden                      harden.Config
 }
 
 func run(out io.Writer, cfg config) (bool, error) {
@@ -111,7 +123,7 @@ func run(out io.Writer, cfg config) (bool, error) {
 		}
 	}
 
-	opts := conformance.Options{Workers: cfg.workers}
+	opts := conformance.Options{Workers: cfg.workers, Harden: cfg.harden}
 	if cfg.profile != "" {
 		prof, err := profileByName(cfg.profile)
 		if err != nil {
@@ -163,10 +175,16 @@ func report(out io.Writer, cfg config, r *conformance.Result) (bool, error) {
 	if !ok {
 		status = "FAIL"
 	}
-	fmt.Fprintf(out, "%-4s %-28s %-14s %3d checks  vt=%v\n",
+	if r.Outcome.Contained() || r.Outcome == harden.Flaky {
+		status = r.Outcome.Tag()
+	}
+	fmt.Fprintf(out, "%-8s %-28s %-14s %3d checks  vt=%v\n",
 		status, r.Scenario, worldLabel(r), len(r.Verdicts), r.Elapsed)
 	if r.Err != nil {
 		fmt.Fprintf(out, "     error: %v\n", r.Err)
+	}
+	if r.Isolation != nil && r.Isolation.ReproPath != "" {
+		fmt.Fprintf(out, "     repro: %s\n", r.Isolation.ReproPath)
 	}
 	for _, v := range r.Verdicts {
 		if !v.OK || cfg.verbose {

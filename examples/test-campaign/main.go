@@ -25,6 +25,7 @@ import (
 	"pfi/internal/campaign"
 	"pfi/internal/core"
 	"pfi/internal/gmp"
+	"pfi/internal/harden"
 	"pfi/internal/netsim"
 	"pfi/internal/rudp"
 	"pfi/internal/stack"
@@ -84,7 +85,7 @@ func run(workers int) error {
 
 // gmpScenario boots a fresh 3-daemon cluster, faults gmd3's traffic per
 // the case, and checks that gmd1 and gmd2 still share a view.
-func gmpScenario(c campaign.Case) (bool, string, error) {
+func gmpScenario(_ *harden.Monitor, c campaign.Case) (bool, string, error) {
 	names := []string{"gmd1", "gmd2", "gmd3"}
 	w := netsim.NewWorld(2026)
 	daemons := map[string]*gmp.Daemon{}

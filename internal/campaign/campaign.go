@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pfi/internal/core"
+	"pfi/internal/harden"
 )
 
 // FaultKind is one element of the generated fault vocabulary. These are
@@ -240,15 +241,45 @@ type Verdict struct {
 	OK bool
 	// Note carries scenario-specific detail (what broke, counters, ...).
 	Note string
-	// Err reports a harness failure (script error, setup failure).
+	// Err reports a harness failure (script error, setup failure) or, for
+	// contained runs, the isolation layer's description of what tripped.
 	Err error
 	// Elapsed is the wall-clock cost of the case.
 	Elapsed time.Duration
+	// Outcome classifies the run under the harden taxonomy. Pass/Fail are
+	// ordinary completions; ToolFault, Timeout, Livelock, and
+	// BudgetExceeded are containment events; Flaky means the first
+	// attempt was contained but the retry completed.
+	Outcome harden.Kind
+	// Isolation carries the full containment record (stack, counter,
+	// retry classification, repro path) for every non-Pass/Fail outcome;
+	// nil when the run completed under its own power.
+	Isolation *harden.Outcome
+}
+
+// Status renders the verdict's status column: the isolation taxonomy tag
+// (CRASH, TIMEOUT, LIVELOCK, BUDGET, FLAKY) when the run was contained or
+// flaky, else the classic PASS/FAIL/ERROR triple.
+func (v Verdict) Status() string {
+	if v.Outcome.Contained() || v.Outcome == harden.Flaky {
+		return v.Outcome.Tag()
+	}
+	switch {
+	case v.Err != nil:
+		return "ERROR"
+	case !v.OK:
+		return "FAIL"
+	}
+	return "PASS"
 }
 
 // Scenario runs the system under test with the given case already applied
-// and reports whether the protocol behaved acceptably.
-type Scenario func(c Case) (ok bool, note string, err error)
+// and reports whether the protocol behaved acceptably. The monitor is the
+// isolation layer's observer: a scenario that builds a simulated world
+// should Attach it (scheduler, trace log, injected-message counter) so
+// watchdogs and budgets can meter the run. Ignoring it is safe — panic
+// containment and retry work regardless.
+type Scenario func(m *harden.Monitor, c Case) (ok bool, note string, err error)
 
 // Run executes every generated case against the scenario, serially, and
 // returns the verdicts in generation order plus sweep statistics. It is
@@ -274,16 +305,15 @@ func Summary(vs []Verdict, stats ...RunStats) string {
 	var b strings.Builder
 	pass := 0
 	for _, v := range vs {
-		status := "PASS"
-		switch {
-		case v.Err != nil:
-			status = "ERROR"
-		case !v.OK:
-			status = "FAIL"
-		default:
+		status := v.Status()
+		if status == "PASS" {
 			pass++
 		}
-		fmt.Fprintf(&b, "%-5s %-40s %s\n", status, v.Case.Name, v.Note)
+		note := v.Note
+		if note == "" && v.Err != nil {
+			note = v.Err.Error()
+		}
+		fmt.Fprintf(&b, "%-8s %-40s %s\n", status, v.Case.Name, note)
 	}
 	fmt.Fprintf(&b, "%d/%d cases passed\n", pass, len(vs))
 	for _, st := range stats {

@@ -9,6 +9,7 @@ import (
 	"pfi/internal/campaign"
 	"pfi/internal/core"
 	"pfi/internal/gmp"
+	"pfi/internal/harden"
 	"pfi/internal/netsim"
 	"pfi/internal/rudp"
 	"pfi/internal/stack"
@@ -111,7 +112,7 @@ func TestCampaignAgainstGMP(t *testing.T) {
 			campaign.Duplicate, campaign.Reorder,
 		},
 	}
-	scenario := func(c campaign.Case) (bool, string, error) {
+	scenario := func(m *harden.Monitor, c campaign.Case) (bool, string, error) {
 		names := []string{"gmd1", "gmd2", "gmd3"}
 		w := netsim.NewWorld(99)
 		daemons := map[string]*gmp.Daemon{}
@@ -210,7 +211,7 @@ func TestCampaignAgainstTPC(t *testing.T) {
 			campaign.Drop, campaign.Delay, campaign.Duplicate, campaign.Reorder,
 		},
 	}
-	scenario := func(c campaign.Case) (bool, string, error) {
+	scenario := func(m *harden.Monitor, c campaign.Case) (bool, string, error) {
 		w := netsim.NewWorld(7)
 		names := []string{"p1", "p2", "p3"}
 		participants := map[string]*tpc.Participant{}

@@ -1,0 +1,185 @@
+package campaign_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"pfi/internal/campaign"
+	"pfi/internal/harden"
+	"pfi/internal/simtime"
+	"pfi/internal/trace"
+)
+
+// TestForEachContainsPanics: one panicking cell in a 1000-cell sweep must
+// not take down the pool — every other index still runs, and the panic
+// surfaces as a structured *PanicError.
+func TestForEachContainsPanics(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		n := 1000
+		results := make([]int, n)
+		err := campaign.ForEach(nil, workers, n, func(i int) {
+			if i == 437 {
+				panic(fmt.Sprintf("cell %d exploded", i))
+			}
+			results[i] = i + 1
+		})
+		perr, ok := err.(*campaign.PanicError)
+		if !ok {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if perr.Index != 437 || perr.Count != 1 {
+			t.Errorf("workers=%d: %+v, want index 437 count 1", workers, perr)
+		}
+		if !strings.Contains(perr.Error(), "cell 437 exploded") || perr.Stack == "" {
+			t.Errorf("workers=%d: PanicError missing value or stack: %v", workers, perr)
+		}
+		completed := 0
+		for i, r := range results {
+			if r == i+1 {
+				completed++
+			}
+		}
+		if completed != n-1 {
+			t.Errorf("workers=%d: %d cells completed, want %d", workers, completed, n-1)
+		}
+	}
+}
+
+// TestForEachReportsAllPanics: several panicking cells are still one
+// error, with the total count preserved.
+func TestForEachReportsAllPanics(t *testing.T) {
+	err := campaign.ForEach(nil, 4, 100, func(i int) {
+		if i%10 == 0 {
+			panic(i)
+		}
+	})
+	perr, ok := err.(*campaign.PanicError)
+	if !ok {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if perr.Count != 10 {
+		t.Errorf("Count = %d, want 10", perr.Count)
+	}
+	if !strings.Contains(perr.Error(), "and 9 more panics") {
+		t.Errorf("Error() = %q, want trailing panic count", perr.Error())
+	}
+}
+
+// faultyScenario behaves exactly like sweepScenario except for two
+// designated cells: one panics, one livelocks (events churn forever with
+// no trace progress). Everything the acceptance criterion needs.
+func faultyScenario(crash, livelock string) campaign.Scenario {
+	return func(m *harden.Monitor, c campaign.Case) (bool, string, error) {
+		switch c.Name {
+		case crash:
+			panic("injected crash in " + c.Name)
+		case livelock:
+			s := simtime.NewScheduler()
+			m.Attach(s, trace.NewLog(), nil)
+			var spin func()
+			spin = func() { s.After(1, "spin", spin) }
+			spin()
+			s.Run() // never drains; only the stall watchdog ends this
+			return true, "", nil
+		}
+		return sweepScenario(m, c)
+	}
+}
+
+// TestSweepSurvivesCrashAndLivelock is the PR's acceptance scenario: a
+// parallel sweep containing one panicking and one livelocking cell
+// completes at 8 workers, reports those two cells as CRASH and LIVELOCK
+// verdicts with quarantine repro paths, and leaves every other verdict
+// byte-identical to a clean sweep.
+func TestSweepSurvivesCrashAndLivelock(t *testing.T) {
+	cases, err := campaign.Generate(sweepSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, livelock := cases[3].Name, cases[20].Name
+	dir := t.TempDir()
+
+	clean, _, err := campaign.RunParallel(sweepSpec, sweepScenario, campaign.Options{
+		Workers: 8,
+		Harden:  harden.Config{StallSteps: 200, Retry: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, stats, err := campaign.RunParallel(sweepSpec, faultyScenario(crash, livelock), campaign.Options{
+		Workers: 8,
+		Harden:  harden.Config{StallSteps: 200, Retry: true, ReproDir: dir},
+		Repro: func(c campaign.Case) string {
+			return fmt.Sprintf("# campaign case: %s\nworld tcp\nrun 1s\n", c.Name)
+		},
+	})
+	if err != nil {
+		t.Fatalf("sweep with contained failures errored: %v", err)
+	}
+	if len(vs) != len(clean) {
+		t.Fatalf("got %d verdicts, want %d", len(vs), len(clean))
+	}
+
+	for i := range vs {
+		v, want := vs[i], clean[i]
+		switch v.Case.Name {
+		case crash:
+			if v.Outcome != harden.ToolFault || v.Status() != "CRASH" {
+				t.Errorf("crash cell: outcome %v status %s", v.Outcome, v.Status())
+			}
+			checkQuarantined(t, v, harden.ToolFault)
+		case livelock:
+			if v.Outcome != harden.Livelock || v.Status() != "LIVELOCK" {
+				t.Errorf("livelock cell: outcome %v status %s", v.Outcome, v.Status())
+			}
+			checkQuarantined(t, v, harden.Livelock)
+		default:
+			if v.OK != want.OK || v.Note != want.Note || v.Outcome != want.Outcome ||
+				(v.Err == nil) != (want.Err == nil) {
+				t.Errorf("case %q diverged from clean sweep: (%v,%q,%v) vs (%v,%q,%v)",
+					v.Case.Name, v.OK, v.Note, v.Outcome, want.OK, want.Note, want.Outcome)
+			}
+		}
+	}
+	if stats.Crashes != 1 || stats.Timeouts != 1 {
+		t.Errorf("stats report %d crash(es), %d timeout/livelock(s); want 1 and 1", stats.Crashes, stats.Timeouts)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("stats.Retries = %d, want 2 (one per contained cell)", stats.Retries)
+	}
+	if line := stats.String(); !strings.Contains(line, "contained 1 crash(es), 1 timeout/livelock(s), 2 retr(ies)") {
+		t.Errorf("stats line missing containment summary: %s", line)
+	}
+}
+
+// checkQuarantined asserts a contained verdict carries its isolation
+// record and a repro file whose header parses back to the right kind.
+func checkQuarantined(t *testing.T, v campaign.Verdict, kind harden.Kind) {
+	t.Helper()
+	if v.OK {
+		t.Errorf("%s: contained verdict reported OK", v.Case.Name)
+	}
+	if v.Isolation == nil {
+		t.Fatalf("%s: no isolation record", v.Case.Name)
+	}
+	if !v.Isolation.Deterministic || v.Isolation.Retries != 1 {
+		t.Errorf("%s: retry classification %+v, want deterministic after 1 retry", v.Case.Name, v.Isolation)
+	}
+	path, found := strings.CutPrefix(v.Note, "repro: ")
+	if !found {
+		t.Fatalf("%s: note %q carries no repro path", v.Case.Name, v.Note)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", v.Case.Name, err)
+	}
+	got, ok := harden.ReproKind(string(data))
+	if !ok || got != kind {
+		t.Errorf("%s: repro header kind %v/%v, want %v", v.Case.Name, got, ok, kind)
+	}
+	if !strings.Contains(string(data), "# campaign case: "+v.Case.Name) {
+		t.Errorf("%s: repro does not embed the rendered case:\n%s", v.Case.Name, data)
+	}
+}

@@ -3,8 +3,11 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"pfi/internal/harden"
 )
 
 // Options configures a campaign sweep.
@@ -20,6 +23,13 @@ type Options struct {
 	// cases finish, and the completed verdicts are returned along with the
 	// context's error. Nil means never canceled.
 	Context context.Context
+	// Harden is the per-case isolation policy: watchdogs, budgets, and
+	// retry classification. The zero value still contains panics — a
+	// crashing scenario becomes one ToolFault verdict, never a dead sweep.
+	Harden harden.Config
+	// Repro, when non-nil, renders a case as committable scenario source
+	// for quarantine repros of contained failures (needs Harden.ReproDir).
+	Repro func(Case) string
 }
 
 // RunStats summarizes a sweep's outcome and throughput.
@@ -29,6 +39,13 @@ type RunStats struct {
 	Passed  int
 	Failed  int
 	Errored int
+	// Crashes counts ToolFault verdicts (scenario panicked; contained).
+	Crashes int
+	// Timeouts counts Timeout and Livelock verdicts (watchdog tripped).
+	Timeouts int
+	// Retries counts extra attempts the isolation layer made to classify
+	// contained failures as deterministic vs. flaky.
+	Retries int
 	// Workers is the pool size the sweep actually used.
 	Workers int
 	// Elapsed is the total wall-clock sweep duration.
@@ -39,8 +56,13 @@ type RunStats struct {
 
 // String renders the stats as a one-line report.
 func (s RunStats) String() string {
-	return fmt.Sprintf("swept %d cases in %s (%.1f cases/s, %d worker(s))",
+	line := fmt.Sprintf("swept %d cases in %s (%.1f cases/s, %d worker(s))",
 		s.Cases, s.Elapsed.Round(time.Millisecond), s.CasesPerSecond, s.Workers)
+	if s.Crashes > 0 || s.Timeouts > 0 || s.Retries > 0 {
+		line += fmt.Sprintf("; contained %d crash(es), %d timeout/livelock(s), %d retr(ies)",
+			s.Crashes, s.Timeouts, s.Retries)
+	}
+	return line
 }
 
 // RunParallel executes every generated case against the scenario, fanning
@@ -62,12 +84,14 @@ func runCases(cases []Case, scenario Scenario, opts Options) ([]Verdict, RunStat
 	start := time.Now()
 	verdicts := make([]Verdict, len(cases))
 	done := make([]bool, len(cases))
+	hcfg := opts.Harden
+	if hcfg.Context == nil {
+		hcfg.Context = opts.Context
+	}
 
 	var mu sync.Mutex // guards verdicts/done and serializes OnVerdict
 	err := ForEach(opts.Context, workers, len(cases), func(i int) {
-		cs := time.Now()
-		ok, note, err := scenario(cases[i])
-		v := Verdict{Case: cases[i], OK: ok, Note: note, Err: err, Elapsed: time.Since(cs)}
+		v := runCase(cases[i], scenario, hcfg, opts.Repro)
 		mu.Lock()
 		verdicts[i] = v
 		done[i] = true
@@ -77,6 +101,37 @@ func runCases(cases []Case, scenario Scenario, opts Options) ([]Verdict, RunStat
 		mu.Unlock()
 	})
 	return finish(verdicts, done, start, workers, err)
+}
+
+// runCase executes one cell through the isolation layer and folds the
+// containment record into the verdict.
+func runCase(c Case, scenario Scenario, cfg harden.Config, repro func(Case) string) Verdict {
+	if repro != nil {
+		cfg.ReproSource = func() string { return repro(c) }
+	}
+	start := time.Now()
+	var (
+		ok   bool
+		note string
+		serr error
+	)
+	iso := harden.Run(cfg, func(m *harden.Monitor) error {
+		ok, note, serr = scenario(m, c)
+		return serr
+	})
+	v := Verdict{Case: c, OK: ok, Note: note, Err: serr, Elapsed: time.Since(start), Outcome: iso.Kind}
+	if iso.Kind.Contained() {
+		// The scenario never finished; its partial ok/note are meaningless.
+		v.OK, v.Err, v.Note = false, iso.Err, ""
+		if iso.ReproPath != "" {
+			v.Note = "repro: " + iso.ReproPath
+		}
+	}
+	if iso.Kind != harden.Pass && iso.Kind != harden.Fail {
+		isoCopy := iso
+		v.Isolation = &isoCopy
+	}
+	return v
 }
 
 // poolSize clamps a requested worker count to [1, n].
@@ -90,16 +145,59 @@ func poolSize(workers, n int) int {
 	return workers
 }
 
+// PanicError reports fn panics that ForEach contained. Every non-panicking
+// index still ran to completion; the first panic is carried here with its
+// stack, plus a count of how many indices panicked in total.
+type PanicError struct {
+	// Index is the first panicking index.
+	Index int
+	// Value is that panic's value.
+	Value any
+	// Stack is the goroutine stack captured at that panic.
+	Stack string
+	// Count is the total number of panicking indices.
+	Count int
+}
+
+func (e *PanicError) Error() string {
+	s := fmt.Sprintf("campaign: fn(%d) panicked: %v", e.Index, e.Value)
+	if e.Count > 1 {
+		s += fmt.Sprintf(" (and %d more panics)", e.Count-1)
+	}
+	return s
+}
+
 // ForEach is the campaign worker pool, exported for other sweep-shaped
 // workloads (the conformance runner fans scenarios out through it). It runs
 // fn(0..n-1) across workers goroutines and returns when every started call
 // has finished. A canceled context stops new indices from being handed out
-// (in-flight calls complete) and is returned as the error. fn is responsible
-// for its own synchronization; with workers <= 1 every call happens in the
-// calling goroutine, in order.
+// (in-flight calls complete) and is returned as the error. A panicking fn
+// is contained: sibling workers keep draining, every other index completes,
+// and the panic surfaces as a *PanicError (a canceled context takes
+// precedence). fn is responsible for its own synchronization; with
+// workers <= 1 every call happens in the calling goroutine, in order.
 func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var (
+		pmu  sync.Mutex
+		perr *PanicError
+	)
+	call := func(i int) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			pmu.Lock()
+			if perr == nil {
+				perr = &PanicError{Index: i, Value: p, Stack: string(debug.Stack())}
+			}
+			perr.Count++
+			pmu.Unlock()
+		}()
+		fn(i)
 	}
 	workers = poolSize(workers, n)
 	if workers == 1 {
@@ -107,33 +205,39 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			call(i)
 		}
-		return ctx.Err()
-	}
-	var wg sync.WaitGroup
-	feed := make(chan int)
-	go func() {
-		defer close(feed)
-		for i := 0; i < n; i++ {
-			select {
-			case feed <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+	} else {
+		var wg sync.WaitGroup
+		feed := make(chan int)
 		go func() {
-			defer wg.Done()
-			for i := range feed {
-				fn(i)
+			defer close(feed)
+			for i := 0; i < n; i++ {
+				select {
+				case feed <- i:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range feed {
+					call(i)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if perr != nil {
+		return perr
+	}
+	return nil
 }
 
 // finish compacts completed verdicts (preserving generation order) and
@@ -155,6 +259,15 @@ func finish(verdicts []Verdict, done []bool, start time.Time, workers int, err e
 		default:
 			stats.Failed++
 		}
+		switch out[i].Outcome {
+		case harden.ToolFault:
+			stats.Crashes++
+		case harden.Timeout, harden.Livelock:
+			stats.Timeouts++
+		}
+		if out[i].Isolation != nil {
+			stats.Retries += out[i].Isolation.Retries
+		}
 	}
 	if s := stats.Elapsed.Seconds(); s > 0 {
 		stats.CasesPerSecond = float64(stats.Cases) / s
@@ -168,3 +281,4 @@ func max(a, b int) int {
 	}
 	return b
 }
+

@@ -10,6 +10,7 @@ import (
 
 	"pfi/internal/campaign"
 	"pfi/internal/core"
+	"pfi/internal/harden"
 	"pfi/internal/message"
 	"pfi/internal/simtime"
 	"pfi/internal/stack"
@@ -31,9 +32,10 @@ func (typedStub) Generate(typ string, fields map[string]string) (*message.Messag
 // a fixed message load in both directions, and a note summarizing exactly
 // what traffic survived the fault. Being a pure function of the case, it
 // must produce identical verdicts at any worker count.
-func sweepScenario(c campaign.Case) (bool, string, error) {
+func sweepScenario(m *harden.Monitor, c campaign.Case) (bool, string, error) {
 	env := &stack.Env{Sched: simtime.NewScheduler(), Node: "n1"}
 	l := core.NewLayer(env, core.WithStub(typedStub{}))
+	m.Attach(env.Sched, nil, func() int { return l.SendFilter().Stats().Injected + l.ReceiveFilter().Stats().Injected })
 	stk := stack.New(env, l)
 	var sent, delivered int
 	stk.OnTransmit(func(m *message.Message) error { sent++; return nil })

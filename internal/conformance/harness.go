@@ -9,6 +9,7 @@ import (
 	"pfi/internal/core"
 	"pfi/internal/exp"
 	"pfi/internal/gmp"
+	"pfi/internal/harden"
 	"pfi/internal/netsim"
 	"pfi/internal/simtime"
 	"pfi/internal/tcp"
@@ -64,6 +65,11 @@ type harness struct {
 	// gmp world state
 	gr *exp.GMPRig
 
+	// monitor is the isolation layer's observer, attached when the
+	// scenario builds its world (nil-safe: plain Run sets one anyway,
+	// but harness unit tests may not).
+	monitor *harden.Monitor
+
 	verdicts []Verdict
 }
 
@@ -116,6 +122,7 @@ func (h *harness) buildTCP(prof tcp.Profile) error {
 	h.w, h.log = rig.W, rig.Log
 	h.pfis["vendor"] = rig.Vendor.PFI
 	h.pfis["xkernel"] = rig.XK.PFI
+	h.attachMonitor()
 	return nil
 }
 
@@ -131,7 +138,25 @@ func (h *harness) buildGMP(names []string, bugs gmp.Bugs) error {
 	for name, m := range gr.Ms {
 		h.pfis[name] = m.PFI
 	}
+	h.attachMonitor()
 	return nil
+}
+
+// attachMonitor points the isolation monitor at the freshly built world:
+// its scheduler, the shared trace log, and an injected-message counter
+// summed over every PFI filter.
+func (h *harness) attachMonitor() {
+	if h.monitor == nil || h.w == nil {
+		return
+	}
+	pfis := h.pfis
+	h.monitor.Attach(h.w.Sched, h.log, func() int {
+		n := 0
+		for _, l := range pfis {
+			n += l.SendFilter().Stats().Injected + l.ReceiveFilter().Stats().Injected
+		}
+		return n
+	})
 }
 
 func (h *harness) pfi(node string) (*core.Layer, error) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pfi/internal/campaign"
+	"pfi/internal/harden"
 	"pfi/internal/script"
 	"pfi/internal/simtime"
 	"pfi/internal/tcp"
@@ -31,6 +32,10 @@ type Options struct {
 	OnResult func(*Result)
 	// Context cancels a RunAll between scenarios.
 	Context context.Context
+	// Harden is the per-scenario isolation policy (watchdogs, budgets,
+	// retry). The zero value still contains panics: a crashing scenario
+	// becomes a ToolFault result instead of a dead process.
+	Harden harden.Config
 }
 
 func (o Options) profile() tcp.Profile {
@@ -59,9 +64,18 @@ type Result struct {
 	// Elapsed is the final virtual time.
 	Elapsed simtime.Time
 	// Err is non-nil if the scenario itself failed to execute (syntax
-	// error, unknown node, ...). A failing expect is a !OK Verdict, not an
-	// Err.
+	// error, unknown node, ...) or was contained by the isolation layer.
+	// A failing expect is a !OK Verdict, not an Err.
 	Err error
+	// Outcome classifies the run under the harden taxonomy (Pass/Fail
+	// for ordinary completions; ToolFault/Timeout/Livelock/
+	// BudgetExceeded/Flaky for isolation events).
+	Outcome harden.Kind
+	// Isolation carries the full containment record for non-Pass/Fail
+	// outcomes; nil when the scenario completed under its own power. On
+	// contained runs Verdicts/Trace/Elapsed hold the partial state up to
+	// the abort.
+	Isolation *harden.Outcome
 }
 
 // OK reports whether the scenario executed and every checked step passed.
@@ -88,26 +102,52 @@ func (r *Result) Failed() []Verdict {
 	return out
 }
 
-// Run replays one scenario in a fresh world and interpreter.
+// Run replays one scenario in a fresh world and interpreter, through the
+// harden isolation layer: panics, watchdog trips, and exhausted budgets
+// become classified Outcomes carrying the partial trace, never a crash
+// of the calling process.
 func Run(sc *Scenario, opts Options) *Result {
 	prof := opts.profile()
 	res := &Result{Scenario: sc.Name, Path: sc.Path, Profile: prof.Name}
 
-	h := newHarness(prof)
-	in := script.New()
-	in.SetStepLimit(stepLimit)
-	registerCommands(in, h)
-
-	if _, err := in.Eval(sc.Source); err != nil {
-		res.Err = fmt.Errorf("conformance: scenario %s: %w", sc.Name, err)
+	cfg := opts.Harden
+	if cfg.ReproSource == nil {
+		src := sc.Source
+		cfg.ReproSource = func() string { return src }
 	}
-	res.Verdicts = h.verdicts
-	res.Trace = h.entries()
-	res.Elapsed = h.now()
-	if h.kind == "tcp" {
-		res.World = h.prof.Name
-	} else if h.kind == "gmp" {
-		res.World = "gmp"
+	// h escapes the body so the partial trace and verdicts survive an
+	// abort mid-scenario (on retry it points at the last attempt).
+	var h *harness
+	iso := harden.Run(cfg, func(m *harden.Monitor) error {
+		h = newHarness(prof)
+		h.monitor = m
+		in := script.New()
+		in.SetStepLimit(m.ScriptStepLimit(stepLimit))
+		registerCommands(in, h)
+		_, err := in.Eval(sc.Source)
+		if err != nil && in.StepLimitHit() {
+			m.ExceedScriptSteps() // aborts when a script-step budget is set
+		}
+		return err
+	})
+
+	res.Outcome = iso.Kind
+	if h != nil {
+		res.Verdicts = h.verdicts
+		res.Trace = h.entries()
+		res.Elapsed = h.now()
+		if h.kind == "tcp" {
+			res.World = h.prof.Name
+		} else if h.kind == "gmp" {
+			res.World = "gmp"
+		}
+	}
+	if iso.Kind != harden.Pass && iso.Kind != harden.Fail {
+		isoCopy := iso
+		res.Isolation = &isoCopy
+	}
+	if iso.Err != nil {
+		res.Err = fmt.Errorf("conformance: scenario %s: %w", sc.Name, iso.Err)
 	}
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"pfi/internal/conformance"
+	"pfi/internal/harden"
 	"pfi/internal/tcp"
 )
 
@@ -44,4 +45,43 @@ func EmitRepro(dir string, s Schedule, v Violation, src string, prof tcp.Profile
 		return "", "", err
 	}
 	return path, conformance.GoldenPath(goldenDir, r), nil
+}
+
+// QuarantineName is the emitted quarantine repro's base name (no
+// extension): quarantine_<world>_<kind>_<hash8>.
+func QuarantineName(s Schedule, v Violation) string {
+	return fmt.Sprintf("quarantine_%s_%s_%s",
+		s.World, strings.ReplaceAll(v.Kind, "-", "_"), s.Hash()[:8])
+}
+
+// quarantineHeader renders the comment block that marks a repro as
+// quarantined: the contained kind, the tripped counter when known, the
+// scrubbed failure detail, and the originating seed. harden.ReproKind
+// parses the first line back, so quarantined repros self-classify when
+// replayed by the conformance suite.
+func quarantineHeader(v Violation, iso *harden.Outcome, seed int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# quarantine: %s\n", v.Kind)
+	if iso != nil && iso.Counter != "" {
+		fmt.Fprintf(&b, "# counter: %s\n", iso.Counter)
+	}
+	if v.Detail != "" {
+		fmt.Fprintf(&b, "# detail: %s\n", v.Detail)
+	}
+	fmt.Fprintf(&b, "# seed: %d\n", seed)
+	return b.String()
+}
+
+// EmitQuarantine writes one contained finding's headered repro source
+// under dir. Unlike EmitRepro it performs no replay check — a quarantined
+// scenario by definition cannot complete, and no golden trace is written.
+func EmitQuarantine(dir string, s Schedule, v Violation, src string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("explore: %w", err)
+	}
+	path := filepath.Join(dir, QuarantineName(s, v)+conformance.Ext)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		return "", fmt.Errorf("explore: %w", err)
+	}
+	return path, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"pfi/internal/campaign"
 	"pfi/internal/dist"
+	"pfi/internal/harden"
 	"pfi/internal/tcp"
 )
 
@@ -29,12 +30,29 @@ type Options struct {
 	// OutDir, when non-empty, is where minimized repro scenarios and
 	// golden traces are written (OutDir/found_*.pfi, OutDir/golden/).
 	OutDir string
+	// QuarantineDir, when non-empty, is where deterministic contained
+	// failures (tool-fault, livelock, budget-exceeded) are written as
+	// headered quarantine repros (QuarantineDir/quarantine_*.pfi). These
+	// cannot pass as conformance tests, so they never land in OutDir.
+	QuarantineDir string
 	// ShrinkBudget bounds predicate evaluations per finding (default 300).
 	ShrinkBudget int
+	// Harden is the per-candidate isolation policy. The zero value still
+	// contains panics (a crashing world becomes a tool-fault finding, not
+	// a dead fuzzer); budgets and watchdogs are opt-in. Only the
+	// simulated-time knobs (StallSteps, Budget) keep findings
+	// deterministic across machines — wall-clock timeouts degrade to
+	// exec-error and are reported but never emitted.
+	Harden harden.Config
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 	// Context cancels the run between generations.
 	Context context.Context
+
+	// evaluate overrides candidate evaluation; tests use it to inject
+	// deterministic crashes and stalls without a buggy protocol stack.
+	// Both the fuzz loop and the shrinker route through it.
+	evaluate func(Schedule, tcp.Profile) *Outcome
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +73,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Context == nil {
 		o.Context = context.Background()
+	}
+	if o.evaluate == nil {
+		cfg := o.Harden
+		o.evaluate = func(s Schedule, prof tcp.Profile) *Outcome {
+			return evaluate(s, prof, cfg)
+		}
 	}
 	return o
 }
@@ -159,7 +183,7 @@ func Fuzz(opts Options) (*Report, error) {
 	evalBatch := func(batch []Schedule) ([]*Outcome, error) {
 		outs := make([]*Outcome, len(batch))
 		err := campaign.ForEach(opts.Context, opts.Workers, len(batch), func(i int) {
-			outs[i] = Evaluate(batch[i], opts.Profile)
+			outs[i] = opts.evaluate(batch[i], opts.Profile)
 		})
 		rep.Runs += len(batch)
 		return outs, err
@@ -261,9 +285,12 @@ func fingerprint(global *Coverage, corpus []corpusEntry) string {
 
 // shrinkAndEmit minimizes one violating schedule and, for emittable kinds
 // with an output directory, writes the repro scenario and golden trace.
+// Contained kinds (tool-fault, livelock, budget-exceeded) are shrunk with
+// the same ddmin pass but emitted into Options.QuarantineDir instead —
+// they cannot pass as conformance scenarios.
 func shrinkAndEmit(s Schedule, v Violation, opts Options, rep *Report) (Finding, error) {
 	predicate := func(c Schedule) bool {
-		o := Evaluate(c, opts.Profile)
+		o := opts.evaluate(c, opts.Profile)
 		for _, cv := range o.Violations {
 			if cv.Kind == v.Kind && cv.Nodes == v.Nodes {
 				return true
@@ -274,9 +301,11 @@ func shrinkAndEmit(s Schedule, v Violation, opts Options, rep *Report) (Finding,
 	min, runs := Shrink(s, predicate, opts.ShrinkBudget)
 	rep.ShrinkRuns += runs
 
-	// Re-observe on the minimized schedule for an accurate Detail.
+	// Re-observe on the minimized schedule for an accurate Detail (and,
+	// for contained kinds, the isolation record behind it).
 	final := v
-	for _, cv := range Evaluate(min, opts.Profile).Violations {
+	minOut := opts.evaluate(min, opts.Profile)
+	for _, cv := range minOut.Violations {
 		if cv.Kind == v.Kind && cv.Nodes == v.Nodes {
 			final = cv
 			break
@@ -285,6 +314,9 @@ func shrinkAndEmit(s Schedule, v Violation, opts Options, rep *Report) (Finding,
 	rep.ShrinkRuns++
 
 	f := Finding{Violation: final, Schedule: min}
+	if containedKind(final.Kind) {
+		return emitQuarantined(min, final, minOut, opts, f)
+	}
 	if final.Kind == ViolExecError {
 		return f, nil // cannot be expressed as a passing scenario
 	}
@@ -308,5 +340,29 @@ func shrinkAndEmit(s Schedule, v Violation, opts Options, rep *Report) (Finding,
 		return f, err
 	}
 	f.Path, f.GoldenPath = path, goldenPath
+	return f, nil
+}
+
+// emitQuarantined finalizes a contained finding: its scenario is the
+// compiled minimized schedule under a quarantine header, written to
+// QuarantineDir when one is configured.
+func emitQuarantined(min Schedule, final Violation, minOut *Outcome, opts Options, f Finding) (Finding, error) {
+	src, err := Compile(min)
+	if err != nil {
+		return f, fmt.Errorf("explore: compiling quarantine repro: %w", err)
+	}
+	var iso *harden.Outcome
+	if minOut.Result != nil {
+		iso = minOut.Result.Isolation
+	}
+	f.Scenario = quarantineHeader(final, iso, opts.Seed) + src
+	if opts.QuarantineDir == "" {
+		return f, nil
+	}
+	path, err := EmitQuarantine(opts.QuarantineDir, min, final, f.Scenario)
+	if err != nil {
+		return f, err
+	}
+	f.Path = path
 	return f, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pfi/internal/conformance"
+	"pfi/internal/harden"
 	"pfi/internal/tcp"
 	"pfi/internal/trace"
 )
@@ -36,7 +37,24 @@ const (
 	// ViolStuckTransition: a member is wedged mid view-transition after
 	// quiescence.
 	ViolStuckTransition = "stuck-transition"
+	// ViolToolFault: the simulated world panicked; the isolation layer
+	// contained it. Deterministic tool-faults shrink into quarantine
+	// repros (Options.QuarantineDir) rather than passing conformance
+	// scenarios.
+	ViolToolFault = "tool-fault"
+	// ViolLivelock: the world kept executing events without producing
+	// new trace entries — the stall watchdog tripped.
+	ViolLivelock = "livelock"
+	// ViolBudget: a resource budget (trace entries, script steps,
+	// injected messages, timers) was exhausted.
+	ViolBudget = "budget-exceeded"
 )
+
+// containedKind reports whether a violation kind came from the isolation
+// layer and is schedule-deterministic (emittable as a quarantine repro).
+func containedKind(kind string) bool {
+	return kind == ViolToolFault || kind == ViolLivelock || kind == ViolBudget
+}
 
 // Oracle thresholds (virtual milliseconds).
 const (
@@ -87,9 +105,18 @@ type Outcome struct {
 
 // Evaluate compiles and runs one schedule in a fresh world, hashes its
 // trace into a coverage map, and applies the oracles. It never panics:
-// a panicking protocol stack is itself a finding (exec-error).
-func Evaluate(s Schedule, prof tcp.Profile) (out *Outcome) {
-	out = &Outcome{Schedule: s, Cov: &Coverage{}}
+// the conformance runner executes the world through the harden isolation
+// layer, so a panicking protocol stack comes back as a tool-fault
+// violation, a stalled one as livelock, an over-budget one as
+// budget-exceeded.
+func Evaluate(s Schedule, prof tcp.Profile) *Outcome {
+	return evaluate(s, prof, harden.Config{})
+}
+
+// evaluate is Evaluate with an explicit isolation policy (fuzzing runs
+// thread Options.Harden through here).
+func evaluate(s Schedule, prof tcp.Profile, cfg harden.Config) *Outcome {
+	out := &Outcome{Schedule: s, Cov: &Coverage{}}
 	src, err := Compile(s)
 	if err != nil {
 		// Mutator bug, not a protocol finding; surface loudly.
@@ -98,19 +125,42 @@ func Evaluate(s Schedule, prof tcp.Profile) (out *Outcome) {
 	}
 	out.Source = src
 
-	defer func() {
-		if p := recover(); p != nil {
-			out.Violations = append(out.Violations, Violation{
-				Kind:   ViolExecError,
-				Detail: scrubVolatile(fmt.Sprintf("panic in simulated world: %v", p)),
-			})
-		}
-	}()
-	r := conformance.Run(conformance.New("explore-"+s.Hash(), src), conformance.Options{Profile: prof})
+	r := conformance.Run(conformance.New("explore-"+s.Hash(), src), conformance.Options{Profile: prof, Harden: cfg})
 	out.Result = r
-	out.Cov = CoverageOf(r.Trace)
+	out.Cov = CoverageOf(r.Trace) // partial trace on contained runs — still deterministic
+	if r.Isolation != nil && r.Outcome.Contained() {
+		out.Violations = append(out.Violations, containedViolation(r.Isolation))
+		return out
+	}
 	out.Violations = append(out.Violations, judge(s, r)...)
 	return out
+}
+
+// containedViolation maps an isolation record onto the oracle taxonomy.
+// Wall-clock timeouts and context cancellation are machine-dependent, so
+// they degrade to exec-error (reported, never emitted or quarantined).
+func containedViolation(iso *harden.Outcome) Violation {
+	detail := ""
+	if iso.Err != nil {
+		detail = scrubVolatile(firstLine(iso.Err.Error()))
+	}
+	switch iso.Kind {
+	case harden.ToolFault:
+		return Violation{Kind: ViolToolFault, Detail: detail}
+	case harden.Livelock:
+		return Violation{Kind: ViolLivelock, Detail: detail}
+	case harden.BudgetExceeded:
+		return Violation{Kind: ViolBudget, Detail: detail}
+	default:
+		return Violation{Kind: ViolExecError, Detail: detail}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // judge applies the oracle set to a finished run.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pfi/internal/core"
@@ -35,11 +36,16 @@ type Proxy struct {
 	layer        *core.Layer
 	sched        *simtime.Scheduler
 	start        time.Time
+	maxDatagram  int
+	writeTimeout time.Duration
+	oversized    atomic.Int64
 
-	mu         sync.Mutex // guards actions, closed
+	mu         sync.Mutex // guards actions, closed, draining
 	actions    chan func()
 	closed     bool
+	draining   bool
 	done       chan struct{}
+	loopExit   chan struct{}
 	clientAddr *net.UDPAddr // last client seen (single-client proxy)
 }
 
@@ -49,6 +55,13 @@ type Config struct {
 	Listen string
 	// Upstream is the real server's address.
 	Upstream string
+	// MaxDatagram caps accepted datagram size (default 64 KiB). Larger
+	// datagrams are dropped at the socket and counted, never handed to
+	// the filter — a hostile peer cannot feed the layer unbounded input.
+	MaxDatagram int
+	// WriteTimeout bounds each forwarding write (default 5s), so a wedged
+	// destination cannot stall the event loop forever.
+	WriteTimeout time.Duration
 	// Options configure the embedded PFI layer (stub, trace, rand, bus).
 	Options []core.Option
 }
@@ -77,20 +90,32 @@ func New(cfg Config) (*Proxy, error) {
 	env := &stack.Env{Sched: sched, Node: "interpose"}
 	layer := core.NewLayer(env, cfg.Options...)
 
+	maxDatagram := cfg.MaxDatagram
+	if maxDatagram <= 0 {
+		maxDatagram = 64 * 1024
+	}
+	writeTimeout := cfg.WriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = 5 * time.Second
+	}
 	p := &Proxy{
 		listenConn:   lc,
 		upstreamConn: uc,
 		layer:        layer,
 		sched:        sched,
 		start:        time.Now(),
+		maxDatagram:  maxDatagram,
+		writeTimeout: writeTimeout,
 		actions:      make(chan func(), 256),
 		done:         make(chan struct{}),
+		loopExit:     make(chan struct{}),
 	}
 
 	// The PFI layer's "up" direction forwards to the upstream; "down"
 	// forwards back to the client.
 	s := stack.New(env, layer)
 	s.OnDeliver(func(m *message.Message) error { // cleared the receive filter
+		_ = p.upstreamConn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
 		_, err := p.upstreamConn.Write(m.Bytes())
 		return err
 	})
@@ -101,11 +126,15 @@ func New(cfg Config) (*Proxy, error) {
 		if addr == nil {
 			return errors.New("interpose: no client yet")
 		}
+		_ = p.listenConn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
 		_, err := p.listenConn.WriteToUDP(m.Bytes(), addr)
 		return err
 	})
 
-	go p.loop(s)
+	go func() {
+		p.loop(s)
+		close(p.loopExit)
+	}()
 	go p.readClient()
 	go p.readUpstream()
 	return p, nil
@@ -141,6 +170,45 @@ func (p *Proxy) Do(fn func(l *core.Layer)) error {
 	case <-p.done:
 		return errors.New("interpose: proxy closed")
 	}
+}
+
+// OversizedDropped reports how many datagrams exceeded Config.MaxDatagram
+// and were discarded at the socket.
+func (p *Proxy) OversizedDropped() int64 {
+	return p.oversized.Load()
+}
+
+// Drain shuts the proxy down gracefully: it stops accepting datagrams,
+// lets in-flight work — queued actions and delayed forwards already on
+// the scheduler — flush for up to timeout, then closes the sockets. Safe
+// to call once; concurrent or repeated calls degrade to Close.
+func (p *Proxy) Drain(timeout time.Duration) error {
+	p.mu.Lock()
+	already := p.closed || p.draining
+	p.draining = true
+	p.mu.Unlock()
+	if already {
+		return p.Close()
+	}
+	// Wake the reader goroutines; every read past this deadline fails
+	// immediately, so no new datagrams enter the pipeline.
+	_ = p.listenConn.SetReadDeadline(time.Now())
+	_ = p.upstreamConn.SetReadDeadline(time.Now())
+
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		idle := false
+		if err := p.Do(func(*core.Layer) { idle = p.sched.Len() == 0 }); err != nil {
+			break
+		}
+		if idle {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := p.Close()
+	<-p.loopExit // after this, the layer is quiescent and safe to inspect
+	return err
 }
 
 // Close shuts the proxy down and releases its sockets.
@@ -208,12 +276,18 @@ func (p *Proxy) loop(s *stack.Stack) {
 }
 
 // readClient pumps datagrams from clients into the receive filter.
+// The buffer is one byte larger than the cap so oversized datagrams are
+// detectable rather than silently truncated.
 func (p *Proxy) readClient() {
-	buf := make([]byte, 64*1024)
+	buf := make([]byte, p.maxDatagram+1)
 	for {
 		n, addr, err := p.listenConn.ReadFromUDP(buf)
 		if err != nil {
-			return // closed
+			return // closed or draining
+		}
+		if n > p.maxDatagram {
+			p.oversized.Add(1)
+			continue
 		}
 		data := make([]byte, n)
 		copy(data, buf[:n])
@@ -236,11 +310,15 @@ func (p *Proxy) readClient() {
 
 // readUpstream pumps datagrams from the upstream into the send filter.
 func (p *Proxy) readUpstream() {
-	buf := make([]byte, 64*1024)
+	buf := make([]byte, p.maxDatagram+1)
 	for {
 		n, err := p.upstreamConn.Read(buf)
 		if err != nil {
-			return // closed
+			return // closed or draining
+		}
+		if n > p.maxDatagram {
+			p.oversized.Add(1)
+			continue
 		}
 		data := make([]byte, n)
 		copy(data, buf[:n])

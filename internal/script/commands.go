@@ -181,6 +181,7 @@ func cmdWhile(in *Interp, args []string) (string, error) {
 		if in.maxSteps > 0 {
 			in.steps++
 			if in.steps > in.maxSteps {
+				in.limitHit = true
 				return "", fmt.Errorf("step limit %d exceeded in while loop", in.maxSteps)
 			}
 		}

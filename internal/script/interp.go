@@ -150,8 +150,9 @@ type Interp struct {
 	wordBufs  [][]string          // scratch buffers for expandCommand
 	out       io.Writer           // destination for puts
 	engine    Engine
-	steps     int // commands executed since limit reset
-	maxSteps  int // 0 = unlimited
+	steps     int  // commands executed since limit reset
+	maxSteps  int  // 0 = unlimited
+	limitHit  bool // last top-level Eval/Run died on the step limit
 	depth     int // proc/eval recursion depth
 
 	// cmdEpoch invalidates the VM's per-call-site command caches; it bumps
@@ -213,6 +214,12 @@ func (in *Interp) Output() io.Writer { return in.out }
 // execute (0 disables the bound). It guards experiments against runaway
 // scripts such as `while {1} {}`.
 func (in *Interp) SetStepLimit(n int) { in.maxSteps = n }
+
+// StepLimitHit reports whether the most recent top-level Eval/Run failed
+// because the step limit was exhausted — letting callers classify the
+// error as a resource-budget trip rather than a script bug without
+// matching on error text.
+func (in *Interp) StepLimitHit() bool { return in.limitHit }
 
 // Register installs (or replaces) a host command.
 func (in *Interp) Register(name string, cmd Command) {
@@ -394,6 +401,7 @@ var valueZero value
 // step budget. It returns the result of the last command.
 func (in *Interp) Eval(src string) (string, error) {
 	in.steps = 0
+	in.limitHit = false
 	s, err := in.compile(src)
 	if err != nil {
 		return "", err
@@ -414,6 +422,7 @@ func (in *Interp) Eval(src string) (string, error) {
 // Run executes a pre-parsed script at the top level.
 func (in *Interp) Run(s *Script) (string, error) {
 	in.steps = 0
+	in.limitHit = false
 	res, err := in.runAny(s)
 	if err != nil {
 		var fl *flow
@@ -481,6 +490,7 @@ func (in *Interp) run(s *Script) (string, error) {
 		if in.maxSteps > 0 {
 			in.steps++
 			if in.steps > in.maxSteps {
+				in.limitHit = true
 				return "", &EvalError{Msg: fmt.Sprintf("step limit %d exceeded", in.maxSteps), Line: cmd.line}
 			}
 		}

@@ -288,6 +288,7 @@ func (in *Interp) exec(p *Program) (string, error) {
 			if in.maxSteps > 0 {
 				in.steps++
 				if in.steps > in.maxSteps {
+					in.limitHit = true
 					err = &EvalError{Msg: fmt.Sprintf("step limit %d exceeded", in.maxSteps), Line: int(i.line)}
 				}
 			}
@@ -296,6 +297,7 @@ func (in *Interp) exec(p *Program) (string, error) {
 			if in.maxSteps > 0 {
 				in.steps++
 				if in.steps > in.maxSteps {
+					in.limitHit = true
 					err = fmt.Errorf("step limit %d exceeded in while loop", in.maxSteps)
 				}
 			}

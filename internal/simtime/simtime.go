@@ -65,7 +65,23 @@ type Scheduler struct {
 	seq     uint64
 	running bool
 	stopped bool
+
+	stepHook     func()
+	scheduleHook func()
 }
+
+// SetStepHook installs fn to run at the start of every executed Step,
+// before the event's callback fires. Watchdogs use it to meter progress;
+// fn may panic to abort a Run in progress (the running flag is restored
+// by RunUntil's defer, so the scheduler stays usable after recovery).
+// A nil fn removes the hook.
+func (s *Scheduler) SetStepHook(fn func()) { s.stepHook = fn }
+
+// SetScheduleHook installs fn to run whenever a fresh event is
+// registered via At/After/Every. Periodic re-arms inside Step and
+// Reschedule's re-push of an existing event do not count: the hook
+// meters new registrations, not queue churn. A nil fn removes the hook.
+func (s *Scheduler) SetScheduleHook(fn func()) { s.scheduleHook = fn }
 
 // NewScheduler returns a scheduler whose clock reads the epoch.
 func NewScheduler() *Scheduler {
@@ -102,6 +118,9 @@ func (s *Scheduler) AdvanceTo(t Time) {
 func (s *Scheduler) At(t Time, name string, fn func()) *Event {
 	if fn == nil {
 		panic("simtime: nil event callback")
+	}
+	if s.scheduleHook != nil {
+		s.scheduleHook()
 	}
 	if t < s.now {
 		t = s.now
@@ -163,6 +182,9 @@ func (s *Scheduler) Reschedule(ev *Event, d Duration) {
 func (s *Scheduler) Step() bool {
 	if s.stopped || len(s.queue) == 0 {
 		return false
+	}
+	if s.stepHook != nil {
+		s.stepHook()
 	}
 	ev := heap.Pop(&s.queue).(*Event)
 	ev.index = -1
