@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-race vet build test race bench bench-smoke conformance fuzz explore goldens harden
+.PHONY: check check-race vet build test race bench bench-smoke bench-snapshot conformance fuzz explore goldens harden snapshot
 
 # check is the full PR gate: vet, build, race-enabled tests (the parallel
 # conformance runner and campaign pool run under -race via ./...), an
@@ -73,6 +73,22 @@ harden:
 	$(GO) test -race ./internal/harden/
 	$(GO) test -race -run 'ForEach|Sweep|Quarantin|Runaway|TraceBudget|ZeroConfig|ContainedFailures|EvaluateContains|Drain|Oversized' \
 		./internal/campaign/ ./internal/conformance/ ./internal/explore/ ./internal/interpose/
+
+# snapshot proves the world-snapshot fast path is invisible, under the race
+# detector: session forks byte-identical to fresh replays across every
+# vendor profile and world kind, and a snapshots-on exploration bit-identical
+# to snapshots-off at 1/4/8 workers.
+snapshot:
+	$(GO) test -race -run 'TestSession|TestShell' ./internal/conformance/
+	$(GO) test -race -run 'TestFuzzSnapshot|TestSplitStatements|TestCommonStatements' ./internal/explore/
+
+# bench-snapshot measures one fuzzing iteration served by a world fork vs a
+# full fresh-world replay of the same scenario, and regenerates
+# BENCH_snapshot.json with before/after numbers and deltas.
+bench-snapshot:
+	$(GO) test -bench 'BenchmarkWorldFork' -benchmem -benchtime 2s -count 1 -run @ . | \
+		$(GO) run ./tools/benchjson -out BENCH_snapshot.json -before-suffix Replay \
+		-note "before = BenchmarkWorldForkReplay (fresh world replays the full 240s-sim lossy prefix plus suffix per candidate), after = BenchmarkWorldFork (restore captured world in place, execute only the mutated suffix), same host and run; prefix-heavy corpora see the full ratio, pfifuzz hit-rate bounds the realized speedup"
 
 # goldens re-blesses every pinned artifact: conformance traces and rendered
 # experiment tables. Inspect the diff before committing.

@@ -3,7 +3,9 @@ package pfi
 import (
 	"testing"
 
+	"pfi/internal/conformance"
 	"pfi/internal/core"
+	"pfi/internal/harden"
 	"pfi/internal/message"
 	"pfi/internal/simtime"
 	"pfi/internal/stack"
@@ -51,5 +53,38 @@ func TestFilterProcessAllocBudget(t *testing.T) {
 	})
 	if avg > budget {
 		t.Fatalf("FilterProcess steady state allocates %.1f/op, budget is %d", avg, budget)
+	}
+}
+
+// TestWorldForkAllocBudget pins the allocation count of one snapshot-forked
+// fuzzing iteration (restore the captured world, run the mutated suffix,
+// package the Result). The point of the fork path is that its cost scales
+// with the suffix, not the prefix — a ballooning per-fork allocation count
+// would quietly hand the prefix work back. The budget tracks the number
+// recorded in BENCH_snapshot.json with headroom for runtime variance; raise
+// it only with a bench entry explaining why.
+func TestWorldForkAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	const budget = 256 // ISSUE: fork+suffix must stay O(suffix), not O(prefix)
+
+	sess, err := conformance.NewSession(forkPrefix, conformance.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: first forks grow interpreter and trace buffers.
+	for i := 0; i < 4; i++ {
+		if r, ok := sess.Run("alloc-warm", forkSuffix); !ok || r.Outcome != harden.Pass {
+			t.Fatalf("warm-up fork not clean: ok=%v", ok)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if r, ok := sess.Run("alloc-fork", forkSuffix); !ok || r.Outcome != harden.Pass {
+			t.Fatalf("fork not clean: ok=%v", ok)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("WorldFork steady state allocates %.0f/op, budget is %d", avg, budget)
 	}
 }

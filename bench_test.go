@@ -24,9 +24,10 @@ import (
 	"time"
 
 	"pfi/internal/campaign"
+	"pfi/internal/conformance"
 	"pfi/internal/core"
-	"pfi/internal/harden"
 	"pfi/internal/exp"
+	"pfi/internal/harden"
 	"pfi/internal/message"
 	"pfi/internal/script"
 	"pfi/internal/simtime"
@@ -388,6 +389,55 @@ func BenchmarkCampaignSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// forkPrefix is a deliberately expensive shared prefix: a lossy first
+// minute forces the vendor stack through its full retransmission machinery
+// before the world settles. Fuzzing candidates that mutate only the tail
+// share all of this work.
+const forkPrefix = `world tcp
+faultload vendor send {
+if {[msg_type cur_msg] eq "DATA" && [now] < 60000} { xDrop cur_msg }
+}
+tcp_dial
+tcp_stream 32 250
+run 240000
+`
+
+// forkSuffix is the cheap mutated tail a candidate actually varies.
+const forkSuffix = "run 5000\nsent_len\n"
+
+// BenchmarkWorldFork measures one O(delta) fuzzing iteration: restore the
+// captured world in place and execute only the mutated suffix. Compare
+// with BenchmarkWorldForkReplay, which pays for the full prefix every time —
+// the ratio is the snapshot speedup BENCH_snapshot.json records.
+func BenchmarkWorldFork(b *testing.B) {
+	sess, err := conformance.NewSession(forkPrefix, conformance.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := sess.Run("bench-fork", forkSuffix)
+		if !ok || r.Outcome != harden.Pass {
+			b.Fatalf("fork run not clean: ok=%v", ok)
+		}
+	}
+}
+
+// BenchmarkWorldForkReplay is the same scenario evaluated the pre-snapshot
+// way: a fresh world replays prefix plus suffix for every candidate.
+func BenchmarkWorldForkReplay(b *testing.B) {
+	sc := conformance.New("bench-replay", forkPrefix+forkSuffix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := conformance.Run(sc, conformance.Options{})
+		if r.Outcome != harden.Pass {
+			b.Fatalf("replay not clean: %v %v", r.Outcome, r.Err)
+		}
 	}
 }
 

@@ -9,7 +9,15 @@
 //	pfifuzz -workers 8                # parallel evaluation (same results)
 //	pfifuzz -profile solaris          # vendor profile for unpinned schedules
 //	pfifuzz -out found/               # emit minimized repros + goldens here
+//	pfifuzz -no-snapshot              # full world replay per candidate
 //	pfifuzz -q                        # suppress per-generation progress
+//
+// Candidates sharing a schedule prefix fork from one world snapshot and
+// execute only their mutated suffix — O(delta) per candidate instead of a
+// full replay — with results bit-identical to -no-snapshot at any -workers
+// value; the end-of-run summary reports throughput and the snapshot
+// hit-rate. The -cpuprofile/-memprofile/-trace flags profile the run for
+// `go tool pprof` / `go tool trace`.
 //
 // Every candidate runs through the harden isolation layer: a panicking
 // world surfaces as a tool-fault finding, a stalled one as livelock, an
@@ -18,12 +26,13 @@
 // (those findings stay deterministic across machines); -quarantine is
 // where shrunk contained failures land as headered .pfi repros.
 // -run-timeout also works but its timeouts are wall-clock and therefore
-// machine-dependent: reported, never emitted.
+// machine-dependent: reported, never emitted (and they disable the
+// snapshot fast path, whose forks would see a different clock).
 //
 // The same -seed yields a bit-for-bit identical exploration — corpus,
 // coverage fingerprint, findings, and emitted files — at any -workers
-// value. Exit status is 1 on an execution error, 0 otherwise (findings are
-// the product, not a failure).
+// value, snapshots on or off. Exit status is 1 on an execution error, 0
+// otherwise (findings are the product, not a failure).
 package main
 
 import (
@@ -31,7 +40,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"pfi/internal/diag"
 	"pfi/internal/explore"
 	"pfi/internal/harden"
 	"pfi/internal/tcp"
@@ -47,9 +58,18 @@ func main() {
 		out     = flag.String("out", "", "directory for minimized .pfi repros and golden traces (none: report only)")
 		quiet   = flag.Bool("q", false, "suppress per-generation progress lines")
 		quar    = flag.String("quarantine", "", "directory for .pfi repros of contained failures (tool-fault, livelock, budget-exceeded)")
+		snap    = flag.Bool("snapshot", true, "fork shared-prefix candidates from world snapshots (O(delta) per candidate)")
+		noSnap  = flag.Bool("no-snapshot", false, "replay every candidate in a fresh world (overrides -snapshot)")
 	)
 	hcfg := harden.Flags(flag.CommandLine)
+	prof := diag.Register()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfifuzz:", err)
+		os.Exit(1)
+	}
 
 	opts := explore.Options{
 		Seed:          *seed,
@@ -59,14 +79,15 @@ func main() {
 		OutDir:        *out,
 		QuarantineDir: *quar,
 		Harden:        *hcfg,
+		Snapshot:      *snap && !*noSnap,
 	}
 	if *profile != "" {
-		prof, err := profileByName(*profile)
+		p, err := profileByName(*profile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfifuzz:", err)
 			os.Exit(1)
 		}
-		opts.Profile = prof
+		opts.Profile = p
 	}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) {
@@ -74,12 +95,41 @@ func main() {
 		}
 	}
 
-	rep, err := explore.Fuzz(opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pfifuzz:", err)
+	start := time.Now()
+	rep, ferr := explore.Fuzz(opts)
+	elapsed := time.Since(start)
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintln(os.Stderr, "pfifuzz:", perr)
+	}
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "pfifuzz:", ferr)
 		os.Exit(1)
 	}
 	fmt.Print(rep)
+	fmt.Println(throughput(rep, elapsed))
+}
+
+// throughput renders the end-of-run summary line: total evaluations,
+// wall-clock rate, and — when the snapshot fast path served candidates —
+// the fraction of candidate evaluations that forked from a warm world
+// instead of replaying it.
+func throughput(rep *explore.Report, elapsed time.Duration) string {
+	total := rep.Runs + rep.ShrinkRuns
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	s := fmt.Sprintf("throughput: %d evaluations in %s (%.0f cases/s)",
+		total, elapsed.Round(time.Millisecond), float64(total)/secs)
+	if st := rep.Snapshot; st.Sessions > 0 || st.FastRuns > 0 {
+		hit := 0.0
+		if rep.Runs > 0 {
+			hit = 100 * float64(st.FastRuns) / float64(rep.Runs)
+		}
+		s += fmt.Sprintf(", snapshot hit-rate %.0f%% (%d forked, %d fallback, %d fresh over %d sessions)",
+			hit, st.FastRuns, st.Fallbacks, st.FreshRuns, st.Sessions)
+	}
+	return s
 }
 
 // profileByName resolves a -profile flag value with the same forgiving

@@ -5,13 +5,25 @@
 //
 // Usage:
 //
-//	pfish                 # REPL on stdin
-//	pfish script.tcl      # run a script file
-//	pfish -c 'expr 1+2'   # evaluate one command string
+//	pfish                       # REPL on stdin
+//	pfish script.tcl            # run a script file
+//	pfish -c 'expr 1+2'         # evaluate one command string
+//	pfish -world                # scenario shell: world/faultload/tcp_* commands
+//	pfish -resume cell.pfi      # replay a campaign cell, then drop to the shell
 //
 // The PFI message commands (msg_type, xDrop, ...) are not available here —
 // they only exist inside a filter run — but the full core language
 // (control flow, lists, strings, expr, procs) is.
+//
+// With -world the shell speaks the full conformance scenario language and
+// adds world-snapshot builtins: `snapshot ?name?` marks the current world
+// state, `restore ?name?` rewinds everything — scheduler, network, protocol
+// stacks, trace log, interpreter variables — back to the mark, `snapshots`
+// lists marks, and `verdicts` prints recorded check results. -resume
+// implies -world: it replays the named .pfi scenario (e.g. a campaign cell
+// or a fuzzer repro), captures a `start` mark at its end state, and hands
+// over the prompt — `restore start` rewinds any interactive poking back to
+// the freshly-replayed state, so one replay serves many probing sessions.
 package main
 
 import (
@@ -21,15 +33,40 @@ import (
 	"os"
 	"strings"
 
+	"pfi/internal/conformance"
 	"pfi/internal/script"
 )
 
 func main() {
 	command := flag.String("c", "", "evaluate this command string and exit")
+	world := flag.Bool("world", false, "scenario shell with world/faultload/probe commands and snapshot/restore")
+	resume := flag.String("resume", "", "replay this .pfi scenario, snapshot its end state as `start`, then prompt (implies -world)")
 	flag.Parse()
 
-	in := script.New()
+	var in *script.Interp
+	if *world || *resume != "" {
+		in = conformance.NewShell(conformance.Options{}).Interp()
+	} else {
+		in = script.New()
+	}
 	in.SetOutput(os.Stdout)
+
+	if *resume != "" {
+		sc, err := conformance.Load(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfish:", err)
+			os.Exit(1)
+		}
+		if _, err := in.Eval(sc.Source); err != nil {
+			fmt.Fprintf(os.Stderr, "pfish: replaying %s: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		if _, err := in.Eval("snapshot start"); err != nil {
+			fmt.Fprintf(os.Stderr, "pfish: snapshot after %s: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pfish: replayed %s; `restore start` rewinds to this point\n", sc.Name)
+	}
 
 	switch {
 	case *command != "":

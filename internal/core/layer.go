@@ -8,6 +8,7 @@ import (
 	"pfi/internal/message"
 	"pfi/internal/netsim"
 	"pfi/internal/script"
+	"pfi/internal/simtime"
 	"pfi/internal/stack"
 	"pfi/internal/trace"
 )
@@ -233,6 +234,12 @@ type Filter struct {
 	held     []*message.Message
 	stats    Stats
 
+	// delayed tracks messages parked on pending pfi-delayed-forward
+	// events, so world snapshots can rewind their content: a forward that
+	// fires during one forked child mutates the message (headers are
+	// popped downstream), and the next child re-fires the same event.
+	delayed map[*simtime.Event]*message.Message
+
 	// Per-message state, valid only during process(). verdictBuf and
 	// hookCtx are reused across messages — process() is strictly
 	// sequential per filter, so one buffer of each suffices and the
@@ -246,7 +253,8 @@ type Filter struct {
 }
 
 func newFilter(l *Layer, dir Direction) *Filter {
-	f := &Filter{layer: l, dir: dir, interp: script.New()}
+	f := &Filter{layer: l, dir: dir, interp: script.New(),
+		delayed: make(map[*simtime.Event]*message.Message)}
 	f.hookCtx = HookCtx{filter: f, Dir: dir}
 	registerFilterCommands(f)
 	return f
@@ -396,10 +404,13 @@ func (f *Filter) apply(m *message.Message, v *verdict) error {
 			}
 			return
 		}
-		f.layer.env.Sched.After(after, "pfi-delayed-forward", func() {
+		var ev *simtime.Event
+		ev = f.layer.env.Sched.After(after, "pfi-delayed-forward", func() {
+			delete(f.delayed, ev)
 			// Errors inside a delayed forward have no caller to return to.
 			_ = f.layer.forward(f.dir, msg)
 		})
+		f.delayed[ev] = msg
 	}
 	if v.delay > 0 {
 		f.stats.Delayed++

@@ -14,12 +14,52 @@ import (
 
 // Source is a seeded random source for one experiment.
 type Source struct {
-	rng *rand.Rand
+	seed int64
+	cnt  *countingSource
+	rng  *rand.Rand
 }
 
 // NewSource returns a deterministic source.
 func NewSource(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	c := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Source{seed: seed, cnt: c, rng: rand.New(c)}
+}
+
+// countingSource counts raw generator steps so a Source can be rewound to
+// any previously observed point. Every distribution above funnels through
+// the underlying generator one step at a time (rejection samplers like
+// NormFloat64 just take several counted steps), so the step count is the
+// complete mutable state of a Source.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed); c.n = 0 }
+
+// Mark returns the number of generator steps consumed so far — an opaque
+// position usable with Rewind. Snapshots store it to rewind probabilistic
+// state alongside the rest of a world.
+func (s *Source) Mark() uint64 { return s.cnt.n }
+
+// Rewind returns the source to an earlier Mark position, so draws replay
+// exactly as they did the first time. Rewinding to the current position is
+// free; a world that never drew (the common conformance case) rewinds in
+// O(1). Forward positions are reached by advancing; earlier ones by
+// reseeding and replaying mark steps.
+func (s *Source) Rewind(mark uint64) {
+	if s.cnt.n > mark {
+		s.cnt.src.Seed(s.seed)
+		s.cnt.n = 0
+	}
+	for s.cnt.n < mark {
+		s.cnt.src.Uint64()
+		s.cnt.n++
+	}
 }
 
 // Uniform returns a value in [lo, hi).

@@ -59,7 +59,11 @@ func newTCPEndpoint(w *netsim.World, name string, prof tcp.Profile, log *trace.L
 		return nil, err
 	}
 	pl := core.NewLayer(node.Env(), core.WithStub(tcp.PFIStub{}), core.WithTrace(log))
-	node.SetStack(stack.New(node.Env(), tl, pl))
+	stk := stack.New(node.Env(), tl, pl)
+	node.SetStack(stk)
+	w.Snapshots().Register("tcp:"+name, tl)
+	w.Snapshots().Register("pfi:"+name, pl)
+	w.Snapshots().Register("stack:"+name, stk)
 	return &TCPEndpoint{Node: node, TCP: tl, PFI: pl}, nil
 }
 
@@ -68,6 +72,7 @@ func newTCPEndpoint(w *netsim.World, name string, prof tcp.Profile, log *trace.L
 func NewTCPRig(prof tcp.Profile) (*TCPRig, error) {
 	w := netsim.NewWorld(1995)
 	log := trace.NewLog()
+	w.Snapshots().Register("log", log)
 	vendor, err := newTCPEndpoint(w, "vendor", prof, log)
 	if err != nil {
 		return nil, err
@@ -141,6 +146,7 @@ type GMPRig struct {
 func NewGMPRig(names []string, opts ...gmp.Option) (*GMPRig, error) {
 	w := netsim.NewWorld(1995)
 	log := trace.NewLog()
+	w.Snapshots().Register("log", log)
 	r := &GMPRig{W: w, Log: log, Names: names, Ms: make(map[string]*GMPMember)}
 	for _, name := range names {
 		node, err := w.AddNode(name)
@@ -149,11 +155,16 @@ func NewGMPRig(names []string, opts ...gmp.Option) (*GMPRig, error) {
 		}
 		net := rudp.NewLayer(node.Env())
 		pfi := core.NewLayer(node.Env(), core.WithStub(gmp.PFIStub{}), core.WithTrace(log))
-		node.SetStack(stack.New(node.Env(), net, pfi))
+		stk := stack.New(node.Env(), net, pfi)
+		node.SetStack(stk)
 		gmd, err := gmp.New(node.Env(), net, names, append([]gmp.Option{gmp.WithTrace(log)}, opts...)...)
 		if err != nil {
 			return nil, err
 		}
+		w.Snapshots().Register("rudp:"+name, net)
+		w.Snapshots().Register("pfi:"+name, pfi)
+		w.Snapshots().Register("gmd:"+name, gmd)
+		w.Snapshots().Register("stack:"+name, stk)
 		r.Ms[name] = &GMPMember{Node: node, Net: net, PFI: pfi, Gmd: gmd}
 	}
 	if err := w.ConnectAll(netsim.LinkConfig{Latency: lanLatency}); err != nil {

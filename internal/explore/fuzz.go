@@ -48,6 +48,16 @@ type Options struct {
 	Log func(format string, args ...any)
 	// Context cancels the run between generations.
 	Context context.Context
+	// Snapshot turns on the world snapshot/fork fast path: candidates
+	// sharing a schedule prefix are bucketed, the prefix runs once in a
+	// fresh world, and each candidate forks from that warm parent and
+	// executes only its mutated suffix. Results are bit-identical to full
+	// replays at any worker count; candidates that do not complete cleanly
+	// from a fork fall back to the fresh path automatically. Ignored (with
+	// everything on the fresh path) when a wall-clock Timeout or Context
+	// is configured in Harden — those are measured per run and would see a
+	// different clock from a fork.
+	Snapshot bool
 
 	// evaluate overrides candidate evaluation; tests use it to inject
 	// deterministic crashes and stalls without a buggy protocol stack.
@@ -111,6 +121,10 @@ type Report struct {
 	// keys — the worker-count-invariant identity of the whole exploration.
 	Fingerprint string
 	Findings    []Finding
+	// Snapshot reports how candidates were served when Options.Snapshot
+	// was on (zero value otherwise). Shrink evaluations always run fresh
+	// and are not counted here.
+	Snapshot SnapshotStats
 }
 
 // String renders a one-paragraph summary.
@@ -118,6 +132,10 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed %d: %d runs (+%d shrink) over %d generations, corpus %d, %d coverage bits, fingerprint %s\n",
 		r.Seed, r.Runs, r.ShrinkRuns, r.Generations, r.CorpusSize, r.CoverageBits, r.Fingerprint)
+	if s := r.Snapshot; s.Sessions > 0 || s.FreshRuns > 0 {
+		fmt.Fprintf(&b, "  snapshots: %d session(s), %d forked, %d fallback(s), %d fresh\n",
+			s.Sessions, s.FastRuns, s.Fallbacks, s.FreshRuns)
+	}
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  %-17s %s", f.Violation.Kind, f.Violation.Detail)
 		if f.Path != "" {
@@ -142,6 +160,10 @@ type corpusEntry struct {
 // findings, and the final fingerprint are identical for every worker
 // count.
 func Fuzz(opts Options) (*Report, error) {
+	// The snapshot fast path replaces whole-batch evaluation, so it only
+	// applies when candidate evaluation is the real thing (not a test
+	// hook) and the isolation policy carries no wall-clock semantics.
+	snapOn := opts.Snapshot && opts.evaluate == nil && snapshotEligible(opts.Harden)
 	opts = opts.withDefaults()
 	rng := dist.NewSource(opts.Seed)
 	rep := &Report{Seed: opts.Seed}
@@ -181,10 +203,16 @@ func Fuzz(opts Options) (*Report, error) {
 	}
 
 	evalBatch := func(batch []Schedule) ([]*Outcome, error) {
-		outs := make([]*Outcome, len(batch))
-		err := campaign.ForEach(opts.Context, opts.Workers, len(batch), func(i int) {
-			outs[i] = opts.evaluate(batch[i], opts.Profile)
-		})
+		var outs []*Outcome
+		var err error
+		if snapOn {
+			outs, err = snapEvalBatch(opts.Context, opts.Workers, batch, opts.Profile, opts.Harden, &rep.Snapshot)
+		} else {
+			outs = make([]*Outcome, len(batch))
+			err = campaign.ForEach(opts.Context, opts.Workers, len(batch), func(i int) {
+				outs[i] = opts.evaluate(batch[i], opts.Profile)
+			})
+		}
 		rep.Runs += len(batch)
 		return outs, err
 	}

@@ -116,17 +116,28 @@ func Evaluate(s Schedule, prof tcp.Profile) *Outcome {
 // evaluate is Evaluate with an explicit isolation policy (fuzzing runs
 // thread Options.Harden through here).
 func evaluate(s Schedule, prof tcp.Profile, cfg harden.Config) *Outcome {
-	out := &Outcome{Schedule: s, Cov: &Coverage{}}
 	src, err := Compile(s)
 	if err != nil {
-		// Mutator bug, not a protocol finding; surface loudly.
-		out.Violations = append(out.Violations, Violation{Kind: ViolExecError, Detail: "compile: " + err.Error()})
-		return out
+		return compileErrOutcome(s, err)
 	}
-	out.Source = src
-
 	r := conformance.Run(conformance.New("explore-"+s.Hash(), src), conformance.Options{Profile: prof, Harden: cfg})
-	out.Result = r
+	return outcomeOf(s, src, r)
+}
+
+// compileErrOutcome reports a schedule the compiler rejected — a mutator
+// bug, not a protocol finding; surface loudly.
+func compileErrOutcome(s Schedule, err error) *Outcome {
+	out := &Outcome{Schedule: s, Cov: &Coverage{}}
+	out.Violations = append(out.Violations, Violation{Kind: ViolExecError, Detail: "compile: " + err.Error()})
+	return out
+}
+
+// outcomeOf hashes a finished run's trace into a coverage map and applies
+// the oracles — the judgment half of evaluate, shared with the snapshot
+// fast path (which obtains its Result from a session fork instead of a
+// fresh conformance.Run).
+func outcomeOf(s Schedule, src string, r *conformance.Result) *Outcome {
+	out := &Outcome{Schedule: s, Source: src, Result: r}
 	out.Cov = CoverageOf(r.Trace) // partial trace on contained runs — still deterministic
 	if r.Isolation != nil && r.Outcome.Contained() {
 		out.Violations = append(out.Violations, containedViolation(r.Isolation))

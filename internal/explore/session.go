@@ -1,0 +1,226 @@
+// World snapshot/fork integration: instead of replaying every candidate
+// scenario from a cold world, a generation's candidates are grouped into
+// buckets sharing a schedule prefix (world declaration, faultloads, and
+// workload — the expensive warm-up every mutation preserves). Each bucket
+// evaluates its prefix once in a fresh world, captures it through
+// conformance.NewSession, and forks the candidates from the warm parent,
+// executing only each candidate's mutated suffix.
+//
+// Determinism: a session fork is trusted only when it completes cleanly, in
+// which case its Result is bit-identical to a fresh replay (the conformance
+// differential test pins this); everything else is re-evaluated on the
+// fresh path, where retry classification and repro emission apply. Results
+// land at each candidate's own batch index, so corpus evolution, findings,
+// and the final fingerprint are identical with snapshots on or off, at any
+// worker count.
+package explore
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"pfi/internal/campaign"
+	"pfi/internal/conformance"
+	"pfi/internal/harden"
+	"pfi/internal/tcp"
+)
+
+// SnapshotStats counts how candidates were served when snapshots are on.
+type SnapshotStats struct {
+	// Sessions is how many prefix worlds were captured.
+	Sessions int
+	// FastRuns is how many candidates were served by a session fork.
+	FastRuns int
+	// Fallbacks is how many session forks were discarded (dirty completion)
+	// and re-evaluated fresh; every fallback is also counted in FreshRuns.
+	Fallbacks int
+	// FreshRuns is how many candidates ran the full fresh-world path:
+	// fallbacks, singleton buckets, and unbucketable schedules.
+	FreshRuns int
+}
+
+func (st *SnapshotStats) add(o SnapshotStats) {
+	st.Sessions += o.Sessions
+	st.FastRuns += o.FastRuns
+	st.Fallbacks += o.Fallbacks
+	st.FreshRuns += o.FreshRuns
+}
+
+// splitStatements splits a compiled scenario into top-level statements,
+// keeping brace-wrapped blocks (faultload scripts) intact. It only needs to
+// handle compiler output — balanced braces, one statement per top-level
+// line — not arbitrary hand-written scenarios.
+func splitStatements(src string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case '\n':
+			if depth == 0 {
+				if stmt := src[start : i+1]; strings.TrimSpace(stmt) != "" {
+					out = append(out, stmt)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if start < len(src) {
+		if stmt := src[start:]; strings.TrimSpace(stmt) != "" {
+			out = append(out, stmt)
+		}
+	}
+	return out
+}
+
+// workloadIndex locates the workload statement — the last statement every
+// schedule sharing a world and faultload set also shares. Returns -1 when
+// the source has no recognizable workload (never true for compiler output).
+func workloadIndex(stmts []string) int {
+	for i, st := range stmts {
+		f := strings.Fields(st)
+		if len(f) == 0 {
+			continue
+		}
+		if f[0] == "tcp_stream" || f[0] == "gmp_start" {
+			return i
+		}
+	}
+	return -1
+}
+
+// commonStatements is the length of the longest common statement prefix
+// across a bucket's candidates — the divergence point the snapshot is
+// taken at. It is at least the bucket key (through the workload) and grows
+// through any shared timeline prefix.
+func commonStatements(cands []snapCand) int {
+	lcp := len(cands[0].stmts)
+	for _, c := range cands[1:] {
+		n := 0
+		for n < lcp && n < len(c.stmts) && c.stmts[n] == cands[0].stmts[n] {
+			n++
+		}
+		lcp = n
+	}
+	return lcp
+}
+
+// snapCand is one compiled candidate awaiting evaluation.
+type snapCand struct {
+	idx   int // index into the batch (and outs)
+	src   string
+	stmts []string
+}
+
+// snapEvalBatch evaluates one generation through per-bucket world
+// snapshots. Buckets (and unbucketable candidates) are independent units
+// fanned out across workers; candidates within a bucket share one
+// single-threaded world and run serially.
+func snapEvalBatch(ctx context.Context, workers int, batch []Schedule,
+	prof tcp.Profile, cfg harden.Config, stats *SnapshotStats) ([]*Outcome, error) {
+
+	outs := make([]*Outcome, len(batch))
+	buckets := map[string][]snapCand{}
+	var order []string
+	var singles []snapCand
+	for i, s := range batch {
+		src, err := Compile(s)
+		if err != nil {
+			outs[i] = compileErrOutcome(s, err)
+			continue
+		}
+		stmts := splitStatements(src)
+		wi := workloadIndex(stmts)
+		if wi < 0 {
+			singles = append(singles, snapCand{idx: i, src: src})
+			continue
+		}
+		key := strings.Join(stmts[:wi+1], "")
+		if _, seen := buckets[key]; !seen {
+			order = append(order, key)
+		}
+		buckets[key] = append(buckets[key], snapCand{idx: i, src: src, stmts: stmts})
+	}
+
+	freshRun := func(c snapCand) *conformance.Result {
+		return conformance.Run(conformance.New("explore-"+batch[c.idx].Hash(), c.src),
+			conformance.Options{Profile: prof, Harden: cfg})
+	}
+
+	var mu sync.Mutex
+	units := make([]func(), 0, len(order)+len(singles))
+	for _, key := range order {
+		cands := buckets[key]
+		units = append(units, func() {
+			var st SnapshotStats
+			evalBucket(cands, batch, prof, cfg, freshRun, outs, &st)
+			mu.Lock()
+			stats.add(st)
+			mu.Unlock()
+		})
+	}
+	for _, c := range singles {
+		c := c
+		units = append(units, func() {
+			outs[c.idx] = outcomeOf(batch[c.idx], c.src, freshRun(c))
+			mu.Lock()
+			stats.FreshRuns++
+			mu.Unlock()
+		})
+	}
+	err := campaign.ForEach(ctx, workers, len(units), func(i int) { units[i]() })
+	return outs, err
+}
+
+// evalBucket evaluates one bucket: a shared-prefix session when the bucket
+// has company and its prefix completes cleanly, the fresh path otherwise.
+func evalBucket(cands []snapCand, batch []Schedule, prof tcp.Profile, cfg harden.Config,
+	freshRun func(snapCand) *conformance.Result, outs []*Outcome, st *SnapshotStats) {
+
+	fresh := func(c snapCand) {
+		outs[c.idx] = outcomeOf(batch[c.idx], c.src, freshRun(c))
+		st.FreshRuns++
+	}
+	if len(cands) == 1 {
+		// A lone candidate gains nothing from a capture it forks once.
+		fresh(cands[0])
+		return
+	}
+	lcp := commonStatements(cands)
+	prefix := strings.Join(cands[0].stmts[:lcp], "")
+	sess, err := conformance.NewSession(prefix, conformance.Options{Profile: prof, Harden: cfg})
+	if err != nil {
+		// The shared prefix itself fails or is contained: every candidate
+		// inherits that behavior, and the fresh path classifies it fully.
+		for _, c := range cands {
+			fresh(c)
+		}
+		return
+	}
+	st.Sessions++
+	for _, c := range cands {
+		suffix := strings.Join(c.stmts[lcp:], "")
+		r, ok := sess.Run("explore-"+batch[c.idx].Hash(), suffix)
+		if ok {
+			st.FastRuns++
+		} else {
+			st.Fallbacks++
+			fresh(c)
+			continue
+		}
+		outs[c.idx] = outcomeOf(batch[c.idx], c.src, r)
+	}
+}
+
+// snapshotEligible reports whether the snapshot fast path preserves the
+// configured isolation semantics. Wall-clock deadlines and context
+// cancellation are measured per harden.Run — a fork would get a fresh
+// deadline where a full replay's clock includes the prefix — so those
+// configs run everything on the fresh path.
+func snapshotEligible(cfg harden.Config) bool {
+	return cfg.Timeout == 0 && cfg.Context == nil
+}

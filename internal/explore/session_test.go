@@ -1,0 +1,131 @@
+package explore
+
+import (
+	"testing"
+)
+
+// runFuzzSnap is runFuzz with the snapshot fast path switchable.
+func runFuzzSnap(t *testing.T, seed int64, workers int, outDir string, snap bool) *Report {
+	t.Helper()
+	budget, batch := 64, 16
+	if raceDetectorEnabled {
+		budget, batch = 24, 8
+	}
+	rep, err := Fuzz(Options{
+		Seed:      seed,
+		Budget:    budget,
+		BatchSize: batch,
+		Workers:   workers,
+		OutDir:    outDir,
+		Snapshot:  snap,
+	})
+	if err != nil {
+		t.Fatalf("Fuzz: %v", err)
+	}
+	return rep
+}
+
+// sameReport asserts two explorations are bit-for-bit identical.
+func sameReport(t *testing.T, labelA, labelB string, a, b *Report) {
+	t.Helper()
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("fingerprint diverges: %s %s, %s %s", labelA, a.Fingerprint, labelB, b.Fingerprint)
+	}
+	if a.CorpusSize != b.CorpusSize || a.CoverageBits != b.CoverageBits {
+		t.Errorf("corpus/coverage diverge: %s %d/%d, %s %d/%d",
+			labelA, a.CorpusSize, a.CoverageBits, labelB, b.CorpusSize, b.CoverageBits)
+	}
+	if a.Runs != b.Runs || a.ShrinkRuns != b.ShrinkRuns {
+		t.Errorf("run counts diverge: %s %d+%d, %s %d+%d",
+			labelA, a.Runs, a.ShrinkRuns, labelB, b.Runs, b.ShrinkRuns)
+	}
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatalf("finding counts diverge: %s %d, %s %d", labelA, len(a.Findings), labelB, len(b.Findings))
+	}
+	for i := range a.Findings {
+		fa, fb := a.Findings[i], b.Findings[i]
+		if fa.Violation != fb.Violation || fa.Schedule.Key() != fb.Schedule.Key() {
+			t.Errorf("finding %d diverges: %+v vs %+v", i, fa.Violation, fb.Violation)
+		}
+		if fa.Scenario != fb.Scenario {
+			t.Errorf("finding %d repro source diverges", i)
+		}
+	}
+}
+
+// TestFuzzSnapshotMatchesFreshPath: the O(delta) fork path must change
+// nothing observable — same seed, snapshots on vs off, identical corpus,
+// findings, and emitted repro bytes — while actually serving candidates
+// from forks.
+func TestFuzzSnapshotMatchesFreshPath(t *testing.T) {
+	dirOff, dirOn := t.TempDir(), t.TempDir()
+	off := runFuzzSnap(t, 7, 1, dirOff, false)
+	on := runFuzzSnap(t, 7, 1, dirOn, true)
+	sameReport(t, "fresh", "snapshot", off, on)
+	if a, b := emittedSet(t, dirOff), emittedSet(t, dirOn); a != b {
+		t.Errorf("emitted file sets diverge:\nfresh:\n%s\nsnapshot:\n%s", a, b)
+	}
+	if on.Snapshot.FastRuns == 0 {
+		t.Errorf("snapshot path never served a candidate: %+v", on.Snapshot)
+	}
+	if off.Snapshot != (SnapshotStats{}) {
+		t.Errorf("fresh path reported snapshot stats: %+v", off.Snapshot)
+	}
+}
+
+// TestFuzzSnapshotWorkerInvariance: with snapshots ON, the same seed must
+// still produce a bit-for-bit identical exploration at 1, 4, and 8 workers
+// — bucket fan-out must not leak evaluation order into the merge.
+func TestFuzzSnapshotWorkerInvariance(t *testing.T) {
+	dirs := map[int]string{1: t.TempDir(), 4: t.TempDir(), 8: t.TempDir()}
+	reps := map[int]*Report{}
+	for _, w := range []int{1, 4, 8} {
+		reps[w] = runFuzzSnap(t, 7, w, dirs[w], true)
+	}
+	sameReport(t, "1-worker", "4-worker", reps[1], reps[4])
+	sameReport(t, "1-worker", "8-worker", reps[1], reps[8])
+	if a, b := emittedSet(t, dirs[1]), emittedSet(t, dirs[8]); a != b {
+		t.Errorf("emitted file sets diverge:\n1 worker:\n%s\n8 workers:\n%s", a, b)
+	}
+}
+
+// TestSplitStatements: faultload blocks stay one statement; top-level
+// lines split; the trailing unterminated line is kept.
+func TestSplitStatements(t *testing.T) {
+	src := "world tcp\nfaultload n send {\nif {[now] > 1} { xDrop cur_msg }\n}\ntcp_dial\ntcp_stream 4 250\nrun 100"
+	got := splitStatements(src)
+	want := []string{
+		"world tcp\n",
+		"faultload n send {\nif {[now] > 1} { xDrop cur_msg }\n}\n",
+		"tcp_dial\n",
+		"tcp_stream 4 250\n",
+		"run 100",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d statements %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("statement %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if wi := workloadIndex(got); wi != 3 {
+		t.Errorf("workloadIndex = %d, want 3", wi)
+	}
+}
+
+// TestCommonStatements: the divergence point is the longest shared prefix.
+func TestCommonStatements(t *testing.T) {
+	a := snapCand{stmts: []string{"w\n", "dial\n", "run 1\n", "x\n"}}
+	b := snapCand{stmts: []string{"w\n", "dial\n", "run 1\n", "y\n"}}
+	c := snapCand{stmts: []string{"w\n", "dial\n", "run 2\n"}}
+	if got := commonStatements([]snapCand{a, b}); got != 3 {
+		t.Errorf("lcp(a,b) = %d, want 3", got)
+	}
+	if got := commonStatements([]snapCand{a, b, c}); got != 2 {
+		t.Errorf("lcp(a,b,c) = %d, want 2", got)
+	}
+	if got := commonStatements([]snapCand{a}); got != 4 {
+		t.Errorf("lcp(a) = %d, want 4", got)
+	}
+}

@@ -1,0 +1,46 @@
+package frag
+
+// Snapshot support (see internal/snapshot): reassembly buffers are retained
+// by pointer — expiry closures capture the pending key and check map
+// presence, so a restored entry expires correctly — and the chunk table is
+// saved shallowly (chunk slices are fresh copies, never mutated in place).
+
+// pendingSaved is one reassembly buffer's mutable state.
+type pendingSaved struct {
+	p      *pendingMsg
+	chunks [][]byte
+	have   int
+}
+
+// layerState is the frag layer's mutable state.
+type layerState struct {
+	nextID  uint32
+	pending map[pendingKey]pendingSaved
+	stats   Stats
+}
+
+// SnapshotState captures the layer for the snapshot registry.
+func (l *Layer) SnapshotState() any {
+	st := &layerState{
+		nextID:  l.nextID,
+		pending: make(map[pendingKey]pendingSaved, len(l.pending)),
+		stats:   l.stats,
+	}
+	for k, p := range l.pending {
+		st.pending[k] = pendingSaved{p: p, chunks: append([][]byte(nil), p.chunks...), have: p.have}
+	}
+	return st
+}
+
+// RestoreState rewinds the layer.
+func (l *Layer) RestoreState(state any) {
+	st := state.(*layerState)
+	l.nextID = st.nextID
+	l.pending = make(map[pendingKey]*pendingMsg, len(st.pending))
+	for k, sv := range st.pending {
+		sv.p.chunks = append([][]byte(nil), sv.chunks...)
+		sv.p.have = sv.have
+		l.pending[k] = sv.p
+	}
+	l.stats = st.stats
+}

@@ -261,6 +261,35 @@ func (m *Monitor) abort(out Outcome) {
 	panic(&abortError{out: out})
 }
 
+// Counters snapshots the monitor's progress counters — executed
+// sim-steps, the stall detector's streak and baseline, and fresh timer
+// registrations — so a snapshot/fork harness can restore a forked run to
+// the budget position its prefix had already consumed.
+type Counters struct {
+	Steps   int
+	Stall   int
+	LastLen int
+	Timers  int
+}
+
+// Counters returns the monitor's current progress counters.
+func (m *Monitor) Counters() Counters {
+	if m == nil {
+		return Counters{}
+	}
+	return Counters{Steps: m.steps, Stall: m.stall, LastLen: m.lastLen, Timers: m.timers}
+}
+
+// RestoreCounters rewinds the progress counters. Call it AFTER Attach:
+// Attach zeroes the timer count and re-baselines the stall detector, and
+// a restored run must instead resume from the captured position.
+func (m *Monitor) RestoreCounters(c Counters) {
+	if m == nil {
+		return
+	}
+	m.steps, m.stall, m.lastLen, m.timers = c.Steps, c.Stall, c.LastLen, c.Timers
+}
+
 // onStep runs before every executed scheduler event.
 func (m *Monitor) onStep() {
 	m.steps++

@@ -81,6 +81,42 @@ func (m *Message) Clone() *Message {
 	return c
 }
 
+// State is a saved copy of a message's mutable content (payload bytes and
+// attributes). The identity fields (ID, Origin) are immutable and excluded.
+// World snapshots use it to rewind in-flight and held messages in place:
+// the *Message pointer — captured by delivery closures and retransmission
+// queues — stays the same, only its content rolls back.
+type State struct {
+	buf   []byte
+	attrs map[string]any
+}
+
+// SaveState captures the message's current content.
+func (m *Message) SaveState() State {
+	st := State{buf: append([]byte(nil), m.buf...)}
+	if m.attrs != nil {
+		st.attrs = make(map[string]any, len(m.attrs))
+		for k, v := range m.attrs {
+			st.attrs[k] = v
+		}
+	}
+	return st
+}
+
+// RestoreState rewinds the message to a previously saved content. The saved
+// state stays valid for repeated restores.
+func (m *Message) RestoreState(st State) {
+	m.buf = append(m.buf[:0], st.buf...)
+	if st.attrs == nil {
+		m.attrs = nil
+		return
+	}
+	m.attrs = make(map[string]any, len(st.attrs))
+	for k, v := range st.attrs {
+		m.attrs[k] = v
+	}
+}
+
 // Push prepends hdr to the message, growing it by len(hdr). This is the
 // action a layer takes when sending a message down the stack.
 func (m *Message) Push(hdr []byte) {

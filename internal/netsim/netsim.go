@@ -15,6 +15,7 @@ import (
 	"pfi/internal/dist"
 	"pfi/internal/message"
 	"pfi/internal/simtime"
+	"pfi/internal/snapshot"
 	"pfi/internal/stack"
 	"pfi/internal/trace"
 )
@@ -65,19 +66,37 @@ type World struct {
 	group map[string]int
 	stats Stats
 	log   *trace.Log // optional wire-level log
+
+	// inflight tracks messages captured by pending delivery closures, so a
+	// snapshot can rewind their content in place (delivery consumes message
+	// bytes in the receiving stack, but the closure keeps the pointer).
+	inflight map[*simtime.Event]*message.Message
+	// snaps is the world's snapshot roster: scheduler and world state are
+	// pre-registered; rigs add their protocol layers and shared log.
+	snaps *snapshot.Registry
 }
 
 // NewWorld creates an empty world with its own scheduler and a seeded
 // random source.
 func NewWorld(seed int64) *World {
-	return &World{
-		Sched: simtime.NewScheduler(),
-		rng:   dist.NewSource(seed),
-		nodes: make(map[string]*Node),
-		links: make(map[[2]string]*link),
-		group: make(map[string]int),
+	w := &World{
+		Sched:    simtime.NewScheduler(),
+		rng:      dist.NewSource(seed),
+		nodes:    make(map[string]*Node),
+		links:    make(map[[2]string]*link),
+		group:    make(map[string]int),
+		inflight: make(map[*simtime.Event]*message.Message),
 	}
+	w.snaps = snapshot.NewRegistry()
+	w.snaps.Register("sched", w.Sched)
+	w.snaps.Register("netsim", w)
+	return w
 }
+
+// Snapshots returns the world's snapshot registry. The scheduler and the
+// world's own state are pre-registered; world builders (rigs) register
+// every stateful protocol layer and the shared trace log here.
+func (w *World) Snapshots() *snapshot.Registry { return w.snaps }
 
 // SetTrace mirrors wire events (send/deliver/drop) into l.
 func (w *World) SetTrace(l *trace.Log) { w.log = l }
@@ -264,12 +283,15 @@ func (w *World) transmit(from string, m *message.Message) error {
 		// drop a daemon's heartbeats to itself.
 		w.stats.Sent++
 		node := w.nodes[from]
-		w.Sched.After(0, "loopback "+from, func() {
+		var ev *simtime.Event
+		ev = w.Sched.After(0, "loopback "+from, func() {
+			delete(w.inflight, ev)
 			w.stats.Delivered++
 			if node.stk != nil {
 				_ = node.stk.Deliver(m)
 			}
 		})
+		w.inflight[ev] = m
 		return nil
 	}
 	w.sendOne(from, dst, m)
@@ -317,7 +339,9 @@ func (w *World) sendOne(from, to string, m *message.Message) {
 	if w.log != nil {
 		w.log.Addf(w.Sched.Now(), from, "wire-send", "", uint64(m.ID()), "to "+to)
 	}
-	w.Sched.After(delay, "deliver "+from+"->"+to, func() {
+	var ev *simtime.Event
+	ev = w.Sched.After(delay, "deliver "+from+"->"+to, func() {
+		delete(w.inflight, ev)
 		// Re-check reachability at arrival: a cable pulled mid-flight
 		// loses the packet.
 		if w.nodes[from].unplugged || w.nodes[to].unplugged || w.Partitioned(from, to) {
@@ -335,6 +359,7 @@ func (w *World) sendOne(from, to string, m *message.Message) {
 			_ = dst.stk.Deliver(m)
 		}
 	})
+	w.inflight[ev] = m
 }
 
 // linkFor returns the explicit link or the default config for a pair.
@@ -356,6 +381,114 @@ func (w *World) drop(from, to string, m *message.Message, why string) {
 	if w.log != nil {
 		w.log.Addf(w.Sched.Now(), from, "wire-drop", "", uint64(m.ID()),
 			fmt.Sprintf("to %s: %s", to, why))
+	}
+}
+
+// --- snapshot / restore ------------------------------------------------
+
+// linkState saves one link entry: the pointer (Connect may replace it) plus
+// the fields faults toggle.
+type linkState struct {
+	key [2]string
+	l   *link
+	cfg LinkConfig
+	up  bool
+}
+
+// flightState saves one in-flight message: the pending event, the message
+// pointer its closure captured, and the message content at capture time.
+type flightState struct {
+	ev *simtime.Event
+	m  *message.Message
+	st message.State
+}
+
+// worldState is the world's mutable state at one instant.
+type worldState struct {
+	links     []linkState
+	def       *LinkConfig
+	group     map[string]int
+	stats     Stats
+	order     []string
+	nodes     map[string]*Node
+	unplugged []bool // aligned with order
+	rngMark   uint64
+	log       *trace.Log
+	logLen    int
+	inflight  []flightState
+}
+
+// SnapshotState captures the network substrate: topology, link and cable
+// state, partition groups, counters, the random stream position, and the
+// content of every message still in flight. The scheduler is registered
+// separately; stacks and layers snapshot themselves.
+func (w *World) SnapshotState() any {
+	st := &worldState{
+		def:     w.def,
+		group:   make(map[string]int, len(w.group)),
+		stats:   w.stats,
+		order:   append([]string(nil), w.order...),
+		nodes:   make(map[string]*Node, len(w.nodes)),
+		rngMark: w.rng.Mark(),
+		log:     w.log,
+	}
+	for k, v := range w.group {
+		st.group[k] = v
+	}
+	for name, n := range w.nodes {
+		st.nodes[name] = n
+	}
+	st.unplugged = make([]bool, len(w.order))
+	for i, name := range w.order {
+		st.unplugged[i] = w.nodes[name].unplugged
+	}
+	st.links = make([]linkState, 0, len(w.links))
+	for k, l := range w.links {
+		st.links = append(st.links, linkState{key: k, l: l, cfg: l.cfg, up: l.up})
+	}
+	if w.log != nil {
+		st.logLen = w.log.Len()
+	}
+	st.inflight = make([]flightState, 0, len(w.inflight))
+	for ev, m := range w.inflight {
+		st.inflight = append(st.inflight, flightState{ev: ev, m: m, st: m.SaveState()})
+	}
+	return st
+}
+
+// RestoreState rewinds the world to a captured state. Links, nodes, and
+// in-flight messages keep their identities (the pointers pending closures
+// captured); only their mutable content rolls back.
+func (w *World) RestoreState(state any) {
+	st := state.(*worldState)
+	w.def = st.def
+	w.group = make(map[string]int, len(st.group))
+	for k, v := range st.group {
+		w.group[k] = v
+	}
+	w.stats = st.stats
+	w.order = append(w.order[:0], st.order...)
+	w.nodes = make(map[string]*Node, len(st.nodes))
+	for name, n := range st.nodes {
+		w.nodes[name] = n
+	}
+	for i, name := range st.order {
+		w.nodes[name].unplugged = st.unplugged[i]
+	}
+	w.links = make(map[[2]string]*link, len(st.links))
+	for _, ls := range st.links {
+		ls.l.cfg, ls.l.up = ls.cfg, ls.up
+		w.links[ls.key] = ls.l
+	}
+	w.log = st.log
+	if w.log != nil {
+		w.log.RestoreState(st.logLen)
+	}
+	w.rng.Rewind(st.rngMark)
+	w.inflight = make(map[*simtime.Event]*message.Message, len(st.inflight))
+	for _, fs := range st.inflight {
+		fs.m.RestoreState(fs.st)
+		w.inflight[fs.ev] = fs.m
 	}
 }
 

@@ -1,0 +1,86 @@
+package rudp
+
+import "pfi/internal/simtime"
+
+// Snapshot support (see internal/snapshot): peers and pending sends are
+// retained by pointer — retransmission closures capture *pendingSend and
+// identity-check it against the pending map — and their mutable fields are
+// saved by value.
+
+// peerSaved is one peer's sequence bookkeeping.
+type peerSaved struct {
+	p         *peerState
+	nextSeq   uint32
+	delivered map[uint32]bool
+}
+
+// pendingSaved is one unacknowledged reliable frame.
+type pendingSaved struct {
+	ps      *pendingSend
+	retries int
+	timer   *simtime.Event
+}
+
+// layerState is the rudp layer's mutable state.
+type layerState struct {
+	peers    map[string]peerSaved
+	pending  map[string]map[uint32]pendingSaved
+	deliver  DeliverFunc
+	onGiveUp func(dst string, payload []byte)
+	stats    Stats
+}
+
+// SnapshotState captures the layer for the snapshot registry.
+func (l *Layer) SnapshotState() any {
+	st := &layerState{
+		peers:    make(map[string]peerSaved, len(l.peers)),
+		pending:  make(map[string]map[uint32]pendingSaved, len(l.pending)),
+		deliver:  l.deliver,
+		onGiveUp: l.onGiveUp,
+		stats:    l.stats,
+	}
+	for name, p := range l.peers {
+		del := make(map[uint32]bool, len(p.delivered))
+		for k, v := range p.delivered {
+			del[k] = v
+		}
+		st.peers[name] = peerSaved{p: p, nextSeq: p.nextSeq, delivered: del}
+	}
+	for dst, m := range l.pending {
+		mm := make(map[uint32]pendingSaved, len(m))
+		for seq, ps := range m {
+			mm[seq] = pendingSaved{ps: ps, retries: ps.retries, timer: ps.timer}
+		}
+		st.pending[dst] = mm
+	}
+	return st
+}
+
+// RestoreState rewinds the layer. A send acknowledged since the capture
+// re-enters the pending map with its retransmission timer restored by the
+// scheduler; a send issued since the capture vanishes along with its timer.
+func (l *Layer) RestoreState(state any) {
+	st := state.(*layerState)
+	l.peers = make(map[string]*peerState, len(st.peers))
+	for name, sv := range st.peers {
+		sv.p.nextSeq = sv.nextSeq
+		sv.p.delivered = make(map[uint32]bool, len(sv.delivered))
+		for k, v := range sv.delivered {
+			sv.p.delivered[k] = v
+		}
+		l.peers[name] = sv.p
+	}
+	l.pending = make(map[string]map[uint32]*pendingSend, len(st.pending))
+	for dst, m := range st.pending {
+		mm := make(map[uint32]*pendingSend, len(m))
+		for seq, sv := range m {
+			sv.ps.retries = sv.retries
+			sv.ps.timer = sv.timer
+			mm[seq] = sv.ps
+		}
+		l.pending[dst] = mm
+	}
+	l.deliver = st.deliver
+	l.onGiveUp = st.onGiveUp
+	l.stats = st.stats
+}

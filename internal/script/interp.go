@@ -221,6 +221,85 @@ func (in *Interp) SetStepLimit(n int) { in.maxSteps = n }
 // matching on error text.
 func (in *Interp) StepLimitHit() bool { return in.limitHit }
 
+// Steps reports the commands executed by the most recent top-level
+// Eval/Run. Snapshot-based evaluation uses it to charge a scenario's
+// shared prefix against the suffix's step budget, so the limit trips at
+// the same command whether a run replays the whole scenario or resumes
+// from a snapshot.
+func (in *Interp) Steps() int { return in.steps }
+
+// savedGlobal is one global slot's scripted state. The numeric memo
+// (num/numState) is a pure cache and is reset on restore.
+type savedGlobal struct {
+	val string
+	set bool
+}
+
+// interpState is the script-visible mutable state of an interpreter:
+// global variables and script-defined procs. Host commands, caches, and
+// scratch space are excluded — commands are installed by the host once,
+// and the caches are semantically transparent.
+type interpState struct {
+	slots    []savedGlobal
+	overflow map[string]string
+	procs    map[string]*proc
+	shadow   uint32
+}
+
+// SnapshotState captures global variables and proc definitions for the
+// snapshot registry.
+func (in *Interp) SnapshotState() any {
+	st := &interpState{
+		slots:  make([]savedGlobal, len(in.gslots)),
+		procs:  make(map[string]*proc, len(in.procs)),
+		shadow: in.shadowMask,
+	}
+	for i := range in.gslots {
+		st.slots[i] = savedGlobal{val: in.gslots[i].val, set: in.gslots[i].set}
+	}
+	if in.goverflow != nil {
+		st.overflow = make(map[string]string, len(in.goverflow))
+		for k, v := range in.goverflow {
+			st.overflow[k] = v
+		}
+	}
+	for k, v := range in.procs {
+		st.procs[k] = v
+	}
+	return st
+}
+
+// RestoreState rewinds globals and procs to a captured state. The slot
+// table is never shrunk — compiled VM programs hold slot indices — so
+// slots interned after the capture are cleared rather than removed; an
+// interned-but-unset slot reads exactly like a never-mentioned variable.
+func (in *Interp) RestoreState(state any) {
+	st := state.(*interpState)
+	for i := range in.gslots {
+		s := &in.gslots[i]
+		if i < len(st.slots) {
+			s.val, s.set = st.slots[i].val, st.slots[i].set
+		} else {
+			s.val, s.set = "", false
+		}
+		s.num, s.numState = valueZero, numUnknown
+	}
+	if st.overflow == nil {
+		in.goverflow = nil
+	} else {
+		in.goverflow = make(map[string]string, len(st.overflow))
+		for k, v := range st.overflow {
+			in.goverflow[k] = v
+		}
+	}
+	in.procs = make(map[string]*proc, len(st.procs))
+	for k, v := range st.procs {
+		in.procs[k] = v
+	}
+	in.shadowMask = st.shadow
+	in.cmdEpoch++
+}
+
 // Register installs (or replaces) a host command.
 func (in *Interp) Register(name string, cmd Command) {
 	if cmd == nil {

@@ -240,6 +240,62 @@ func (s *Scheduler) nextSeq() uint64 {
 	return s.seq
 }
 
+// --- snapshot / restore ------------------------------------------------
+
+// savedEvent retains a pending event together with the fields Step, Cancel,
+// and Reschedule mutate in place. Keeping the *Event pointer (rather than
+// cloning) is what makes restore-in-place work: timer owners (TCP
+// connections, RUDP retransmitters, ...) hold these pointers in their own
+// state, and closures already scheduled against the world stay valid.
+type savedEvent struct {
+	ev     *Event
+	when   Time
+	seq    uint64
+	period Duration
+}
+
+// schedState is the mutable state of a Scheduler at one instant.
+type schedState struct {
+	now    Time
+	seq    uint64
+	events []savedEvent
+}
+
+// SnapshotState captures the clock, the sequence counter, and the pending
+// queue. It must be called between events (never from inside a running
+// Step). The step/schedule hooks are observers, not simulation state, so
+// they are deliberately excluded: callers re-attach their own watchdogs
+// after a restore.
+func (s *Scheduler) SnapshotState() any {
+	st := &schedState{now: s.now, seq: s.seq, events: make([]savedEvent, len(s.queue))}
+	for i, ev := range s.queue {
+		st.events[i] = savedEvent{ev: ev, when: ev.when, seq: ev.seq, period: ev.period}
+	}
+	return st
+}
+
+// RestoreState rewinds the scheduler to a state captured by SnapshotState.
+// Events scheduled after the snapshot simply leave the queue (their owners
+// are rewound by their own restores); events that fired or were cancelled
+// since the snapshot are re-queued at their saved instant. The saved queue
+// slice order was a valid heap when captured, so it is installed verbatim.
+func (s *Scheduler) RestoreState(state any) {
+	st := state.(*schedState)
+	// Un-queue everything currently pending so stale pointers report
+	// !Pending() and a Cancel on one stays a no-op.
+	for _, ev := range s.queue {
+		ev.index = -1
+	}
+	s.queue = s.queue[:0]
+	for i, se := range st.events {
+		se.ev.when, se.ev.seq, se.ev.period = se.when, se.seq, se.period
+		se.ev.index = i
+		s.queue = append(s.queue, se.ev)
+	}
+	s.now, s.seq = st.now, st.seq
+	s.stopped = false
+}
+
 // eventQueue is a binary heap ordered by (when, seq).
 type eventQueue []*Event
 

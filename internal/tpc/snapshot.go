@@ -1,0 +1,100 @@
+package tpc
+
+import "pfi/internal/simtime"
+
+// Snapshot support (see internal/snapshot) for both 2PC roles. Transaction
+// runs are retained by pointer (timer closures capture transaction ids and
+// re-check state, so restored state re-routes them correctly); votes and
+// decisions are saved by value.
+
+// participantState is a participant's mutable state.
+type participantState struct {
+	states map[uint32]TxState
+	timers map[uint32]*simtime.Event
+	logLen int
+}
+
+// SnapshotState captures the participant for the snapshot registry.
+func (p *Participant) SnapshotState() any {
+	st := &participantState{
+		states: make(map[uint32]TxState, len(p.states)),
+		timers: make(map[uint32]*simtime.Event, len(p.timers)),
+		logLen: p.log.Len(),
+	}
+	for k, v := range p.states {
+		st.states[k] = v
+	}
+	for k, v := range p.timers {
+		st.timers[k] = v
+	}
+	return st
+}
+
+// RestoreState rewinds the participant.
+func (p *Participant) RestoreState(state any) {
+	st := state.(*participantState)
+	p.states = make(map[uint32]TxState, len(st.states))
+	for k, v := range st.states {
+		p.states[k] = v
+	}
+	p.timers = make(map[uint32]*simtime.Event, len(st.timers))
+	for k, v := range st.timers {
+		p.timers[k] = v
+	}
+	p.log.RestoreState(st.logLen)
+}
+
+// txSaved is one transaction run's mutable state.
+type txSaved struct {
+	run     *txRun
+	votes   map[string]bool
+	decided bool
+	outcome TxState
+	timer   *simtime.Event
+}
+
+// coordinatorState is a coordinator's mutable state.
+type coordinatorState struct {
+	crash  bool
+	nextTx uint32
+	open   map[uint32]txSaved
+	logLen int
+}
+
+// SnapshotState captures the coordinator for the snapshot registry.
+func (c *Coordinator) SnapshotState() any {
+	st := &coordinatorState{
+		crash:  c.crash,
+		nextTx: c.nextTx,
+		open:   make(map[uint32]txSaved, len(c.open)),
+		logLen: c.log.Len(),
+	}
+	for tx, run := range c.open {
+		votes := make(map[string]bool, len(run.votes))
+		for k, v := range run.votes {
+			votes[k] = v
+		}
+		st.open[tx] = txSaved{run: run, votes: votes, decided: run.decided,
+			outcome: run.outcome, timer: run.timer}
+	}
+	return st
+}
+
+// RestoreState rewinds the coordinator.
+func (c *Coordinator) RestoreState(state any) {
+	st := state.(*coordinatorState)
+	c.crash = st.crash
+	c.nextTx = st.nextTx
+	c.open = make(map[uint32]*txRun, len(st.open))
+	for tx, sv := range st.open {
+		sv.run.votes = make(map[string]bool, len(sv.votes))
+		for k, v := range sv.votes {
+			sv.run.votes[k] = v
+		}
+		sv.run.decided = sv.decided
+		sv.run.outcome = sv.outcome
+		sv.run.timer = sv.timer
+		c.open[tx] = sv.run
+	}
+	c.log.RestoreState(st.logLen)
+}

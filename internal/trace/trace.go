@@ -67,6 +67,19 @@ func (l *Log) Addf(at simtime.Time, node, kind, typ string, seq uint64, note str
 // Len reports the entry count.
 func (l *Log) Len() int { return len(l.entries) }
 
+// SnapshotState captures the log for the snapshot registry. The log is
+// append-only, so its whole mutable state is its length.
+func (l *Log) SnapshotState() any { return len(l.entries) }
+
+// RestoreState truncates the log back to a length captured by
+// SnapshotState. Entries appended since the snapshot are discarded.
+func (l *Log) RestoreState(state any) {
+	n := state.(int)
+	if n <= len(l.entries) {
+		l.entries = l.entries[:n]
+	}
+}
+
 // Entries returns a copy of the logged entries. Mutating the returned slice
 // cannot corrupt the log; callers that want to avoid the copy can use
 // AppendEntries with a reusable buffer.

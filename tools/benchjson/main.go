@@ -2,9 +2,9 @@
 // checked-in BENCH_*.json format: a host stanza, before/after metric
 // blocks, and computed deltas.
 //
-// Benchmarks whose name ends in "Tree" are the tree-walking reference
-// engine and land in "before" (keyed without the suffix); everything else
-// lands in "after". Usage:
+// Benchmarks whose name ends in the -before-suffix (default "Tree", the
+// tree-walking reference engine) land in "before" (keyed without the
+// suffix); everything else lands in "after". Usage:
 //
 //	go test -bench 'FilterProcess|InterpEval' -benchmem -run @ . |
 //	    go run ./tools/benchjson -note "..." -out BENCH_script.json
@@ -32,14 +32,15 @@ type report struct {
 		Gomaxprocs int    `json:"gomaxprocs"`
 		Note       string `json:"note,omitempty"`
 	} `json:"host"`
-	Before map[string]metrics          `json:"before"`
-	After  map[string]metrics          `json:"after"`
+	Before map[string]metrics           `json:"before"`
+	After  map[string]metrics           `json:"after"`
 	Deltas map[string]map[string]string `json:"deltas"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "host note to embed")
+	beforeSuffix := flag.String("before-suffix", "Tree", "benchmark name suffix marking the before/reference variant")
 	flag.Parse()
 
 	r := report{
@@ -67,7 +68,7 @@ func main() {
 		if procs > r.Host.Gomaxprocs {
 			r.Host.Gomaxprocs = procs
 		}
-		if base, isTree := strings.CutSuffix(name, "Tree"); isTree {
+		if base, isBefore := strings.CutSuffix(name, *beforeSuffix); isBefore {
 			r.Before[base] = m
 		} else {
 			r.After[name] = m
