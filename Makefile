@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-race vet build test race bench bench-smoke bench-snapshot conformance fuzz explore goldens harden snapshot
+.PHONY: check check-race vet build test race bench bench-smoke bench-snapshot conformance fleet fuzz explore goldens harden snapshot
 
 # check is the full PR gate: vet, build, race-enabled tests (the parallel
 # conformance runner and campaign pool run under -race via ./...), an
@@ -43,6 +43,15 @@ bench:
 # and through the worker pool.
 conformance:
 	$(GO) test -run Conformance ./internal/conformance/ ./cmd/pfitest/
+
+# fleet exercises the sharded-campaign coordinator under the race
+# detector: the determinism battery (fleet sweeps and fleet fuzzing
+# byte-identical to single-process at 1/2/4 spawned worker processes),
+# the control-plane fault-injection tests (kill -9 mid-batch, lease
+# stalls, truncated and garbage results, version skew), and the shard
+# planner and wire-protocol goldens.
+fleet:
+	$(GO) test -race ./internal/fleet/
 
 # fuzz gives each native fuzz target a 10-second smoke. Corpus findings are
 # written to testdata/fuzz as usual; run longer locally when touching the

@@ -10,6 +10,14 @@
 //	pficampaign -types HEARTBEAT,ACK  # restrict the targeted message types
 //	pficampaign -list                 # print the generated cases and exit
 //
+// Sharded (fleet) mode distributes the same sweep over worker processes
+// with bit-identical merged verdicts (see internal/fleet):
+//
+//	pficampaign -spawn-workers 4              # fork 4 local worker processes
+//	pficampaign -serve :8080                  # also serve HTTP workers + /status /metrics
+//	pficampaign -connect http://host:8080     # run as a remote worker
+//	pficampaign -worker-stdio                 # run as a spawned stdio worker (internal)
+//
 // Each case boots a fresh 3-daemon GMP cluster, faults one daemon's
 // traffic with the generated filter script, and checks the healthy pair
 // still converges to a common membership view.
@@ -22,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +41,7 @@ import (
 	"pfi/internal/campaign"
 	"pfi/internal/core"
 	"pfi/internal/diag"
+	"pfi/internal/fleet"
 	"pfi/internal/gmp"
 	"pfi/internal/harden"
 	"pfi/internal/netsim"
@@ -48,17 +58,43 @@ func main() {
 		list    = flag.Bool("list", false, "print the generated cases and exit")
 		quiet   = flag.Bool("quiet", false, "suppress per-verdict progress lines")
 		quar    = flag.String("quarantine", "", "directory for .pfi repros of deterministic contained failures")
+
+		serve       = flag.String("serve", "", "coordinate a fleet and serve HTTP workers plus /status and /metrics on this address")
+		connect     = flag.String("connect", "", "run as a remote worker against a coordinator URL (e.g. http://host:8080)")
+		spawn       = flag.Int("spawn-workers", 0, "coordinate a fleet of N locally spawned worker processes")
+		workerStdio = flag.Bool("worker-stdio", false, "run as a spawned stdio worker (internal)")
+		shards      = flag.Int("shards", 0, "fleet units per round (0: fleet default)")
+		unitTimeout = flag.Duration("unit-timeout", 30*time.Second, "fleet lease timeout before a silent worker's unit is reassigned (0: never reap)")
 	)
 	hcfg := harden.Flags(flag.CommandLine)
 	prof := diag.Register()
 	flag.Parse()
 	hcfg.ReproDir = *quar
+	fleet.RegisterScenario("gmp", gmpScenario)
+
+	if *workerStdio {
+		if err := fleet.ServeStdio("pficampaign"); err != nil {
+			fmt.Fprintln(os.Stderr, "pficampaign:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *connect != "" {
+		host, _ := os.Hostname()
+		if err := fleet.RunWorker(fleet.DialHTTP(*connect), "pficampaign@"+host); err != nil {
+			fmt.Fprintln(os.Stderr, "pficampaign:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
 		os.Exit(1)
 	}
-	runErr := run(*workers, *types, *faults, *list, *quiet, *hcfg)
+	fcfg := fleetMode{serve: *serve, spawn: *spawn, shards: *shards, unitTimeout: *unitTimeout}
+	runErr := run(*workers, *types, *faults, *list, *quiet, *hcfg, fcfg)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
 	}
@@ -68,7 +104,18 @@ func main() {
 	}
 }
 
-func run(workers int, types, faults string, list, quiet bool, hcfg harden.Config) error {
+// fleetMode carries the coordinator-side fleet flags; zero means the
+// classic in-process pool.
+type fleetMode struct {
+	serve       string
+	spawn       int
+	shards      int
+	unitTimeout time.Duration
+}
+
+func (f fleetMode) active() bool { return f.serve != "" || f.spawn > 0 }
+
+func run(workers int, types, faults string, list, quiet bool, hcfg harden.Config, fcfg fleetMode) error {
 	kinds, err := parseFaults(faults)
 	if err != nil {
 		return err
@@ -88,6 +135,9 @@ func run(workers int, types, faults string, list, quiet bool, hcfg harden.Config
 		}
 		return nil
 	}
+	if fcfg.active() {
+		return runFleet(spec, len(cases), hcfg, fcfg)
+	}
 	fmt.Printf("sweeping %d cases with %d worker(s)\n", len(cases), workers)
 	opts := campaign.Options{Workers: workers, Harden: hcfg, Repro: reproScenario}
 	if !quiet {
@@ -100,6 +150,57 @@ func run(workers int, types, faults string, list, quiet bool, hcfg harden.Config
 		return err
 	}
 	fmt.Print(campaign.Summary(verdicts, stats))
+	if fails := campaign.Failures(verdicts); len(fails) > 0 {
+		return fmt.Errorf("%d cases failed", len(fails))
+	}
+	return nil
+}
+
+// runFleet sweeps the matrix over a worker fleet: locally spawned stdio
+// workers (-spawn-workers), remote HTTP workers joining via -serve, or
+// both. The merged verdict stream is bit-identical to the in-process
+// sweep; only wall-clock isolation knobs (-run-timeout) stay local, as
+// they do not travel to workers.
+func runFleet(spec campaign.Spec, n int, hcfg harden.Config, fcfg fleetMode) error {
+	coord := fleet.NewCampaign(spec, "gmp", fleet.HardenWire(hcfg), fleet.Config{
+		Shards:      fcfg.shards,
+		UnitTimeout: fcfg.unitTimeout,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if fcfg.serve != "" {
+		srv, err := coord.Serve(fcfg.serve)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fleet: serving workers on http://%s (status: /status, metrics: /metrics)\n", srv.Addr)
+	}
+	var pool *fleet.Pool
+	if fcfg.spawn > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		pool, err = coord.SpawnWorkers(fcfg.spawn, []string{exe, "-worker-stdio"}, nil)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("sweeping %d cases over a fleet (%d spawned worker(s))\n", n, fcfg.spawn)
+	verdicts, stats, err := coord.RunCampaign(context.Background())
+	coord.Close()
+	if pool != nil {
+		pool.Wait()
+	}
+	if err != nil {
+		return err
+	}
+	fs := coord.Stats()
+	fmt.Print(campaign.Summary(verdicts, stats))
+	fmt.Printf("fleet: %d units over %d worker(s): %d reassigned, %d contained, %d stale, %d bad frames\n",
+		fs.Units, fs.WorkersSeen, fs.Reassigned, fs.Contained, fs.Stale, fs.BadFrames)
 	if fails := campaign.Failures(verdicts); len(fails) > 0 {
 		return fmt.Errorf("%d cases failed", len(fails))
 	}

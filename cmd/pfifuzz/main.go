@@ -12,6 +12,17 @@
 //	pfifuzz -no-snapshot              # full world replay per candidate
 //	pfifuzz -q                        # suppress per-generation progress
 //
+// Sharded (fleet) mode distributes candidate evaluation over worker
+// processes while derivation, corpus evolution, shrinking, and repro
+// emission stay on the coordinator — the report and emitted bytes are
+// bit-identical to a single-process run with the same seed (see
+// internal/fleet):
+//
+//	pfifuzz -spawn-workers 4              # fork 4 local worker processes
+//	pfifuzz -serve :8080                  # also serve HTTP workers + /status /metrics
+//	pfifuzz -connect http://host:8080     # run as a remote worker
+//	pfifuzz -worker-stdio                 # run as a spawned stdio worker (internal)
+//
 // Candidates sharing a schedule prefix fork from one world snapshot and
 // execute only their mutated suffix — O(delta) per candidate instead of a
 // full replay — with results bit-identical to -no-snapshot at any -workers
@@ -39,11 +50,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"pfi/internal/diag"
 	"pfi/internal/explore"
+	"pfi/internal/fleet"
 	"pfi/internal/harden"
 	"pfi/internal/tcp"
 )
@@ -60,10 +71,33 @@ func main() {
 		quar    = flag.String("quarantine", "", "directory for .pfi repros of contained failures (tool-fault, livelock, budget-exceeded)")
 		snap    = flag.Bool("snapshot", true, "fork shared-prefix candidates from world snapshots (O(delta) per candidate)")
 		noSnap  = flag.Bool("no-snapshot", false, "replay every candidate in a fresh world (overrides -snapshot)")
+
+		serve       = flag.String("serve", "", "coordinate a fleet and serve HTTP workers plus /status and /metrics on this address")
+		connect     = flag.String("connect", "", "run as a remote worker against a coordinator URL (e.g. http://host:8080)")
+		spawn       = flag.Int("spawn-workers", 0, "coordinate a fleet of N locally spawned worker processes")
+		workerStdio = flag.Bool("worker-stdio", false, "run as a spawned stdio worker (internal)")
+		shards      = flag.Int("shards", 0, "fleet units per round (0: fleet default)")
+		unitTimeout = flag.Duration("unit-timeout", 30*time.Second, "fleet lease timeout before a silent worker's unit is reassigned (0: never reap)")
 	)
 	hcfg := harden.Flags(flag.CommandLine)
 	prof := diag.Register()
 	flag.Parse()
+
+	if *workerStdio {
+		if err := fleet.ServeStdio("pfifuzz"); err != nil {
+			fmt.Fprintln(os.Stderr, "pfifuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *connect != "" {
+		host, _ := os.Hostname()
+		if err := fleet.RunWorker(fleet.DialHTTP(*connect), "pfifuzz@"+host); err != nil {
+			fmt.Fprintln(os.Stderr, "pfifuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -82,7 +116,7 @@ func main() {
 		Snapshot:      *snap && !*noSnap,
 	}
 	if *profile != "" {
-		p, err := profileByName(*profile)
+		p, err := tcp.ProfileByName(*profile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfifuzz:", err)
 			os.Exit(1)
@@ -96,7 +130,13 @@ func main() {
 	}
 
 	start := time.Now()
-	rep, ferr := explore.Fuzz(opts)
+	var rep *explore.Report
+	var ferr error
+	if *spawn > 0 || *serve != "" {
+		rep, ferr = runFleet(opts, *profile, *hcfg, *serve, *spawn, *shards, *unitTimeout)
+	} else {
+		rep, ferr = explore.Fuzz(opts)
+	}
 	elapsed := time.Since(start)
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, "pfifuzz:", perr)
@@ -107,6 +147,51 @@ func main() {
 	}
 	fmt.Print(rep)
 	fmt.Println(throughput(rep, elapsed))
+}
+
+// runFleet shards candidate evaluation over a worker fleet: locally
+// spawned stdio workers (-spawn-workers), remote HTTP workers joining
+// via -serve, or both. Only deterministic isolation knobs travel to
+// workers; wall-clock -run-timeout does not (it is machine-dependent),
+// so fleet runs use the deterministic watchdogs alone.
+func runFleet(opts explore.Options, profile string, hcfg harden.Config, serve string, spawn, shards int, unitTimeout time.Duration) (*explore.Report, error) {
+	coord := fleet.NewFuzz(profile, fleet.HardenWire(hcfg), fleet.Config{
+		Shards:      shards,
+		UnitTimeout: unitTimeout,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if serve != "" {
+		srv, err := coord.Serve(serve)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fleet: serving workers on http://%s (status: /status, metrics: /metrics)\n", srv.Addr)
+	}
+	var pool *fleet.Pool
+	if spawn > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		pool, err = coord.SpawnWorkers(spawn, []string{exe, "-worker-stdio"}, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep, err := coord.RunFuzz(opts)
+	coord.Close()
+	if pool != nil {
+		pool.Wait()
+	}
+	if err == nil {
+		fs := coord.Stats()
+		fmt.Fprintf(os.Stderr, "fleet: %d units in %d rounds over %d worker(s): %d reassigned, %d contained, %d stale, %d bad frames\n",
+			fs.Units, fs.Rounds, fs.WorkersSeen, fs.Reassigned, fs.Contained, fs.Stale, fs.BadFrames)
+	}
+	return rep, err
 }
 
 // throughput renders the end-of-run summary line: total evaluations,
@@ -130,30 +215,4 @@ func throughput(rep *explore.Report, elapsed time.Duration) string {
 			hit, st.FastRuns, st.Fallbacks, st.FreshRuns, st.Sessions)
 	}
 	return s
-}
-
-// profileByName resolves a -profile flag value with the same forgiving
-// matching the scenario `world tcp <name>` command uses.
-func profileByName(name string) (tcp.Profile, error) {
-	canon := func(s string) string {
-		s = strings.ToLower(s)
-		return strings.Map(func(r rune) rune {
-			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
-				return r
-			}
-			return -1
-		}, s)
-	}
-	want := canon(name)
-	all := append(tcp.Profiles(), tcp.XKernel())
-	for _, p := range all {
-		if pc := canon(p.Name); pc == want || strings.HasPrefix(pc, want) {
-			return p, nil
-		}
-	}
-	names := make([]string, len(all))
-	for i, p := range all {
-		names[i] = p.Name
-	}
-	return tcp.Profile{}, fmt.Errorf("unknown profile %q (have %s)", name, strings.Join(names, ", "))
 }

@@ -103,6 +103,15 @@ func runCases(cases []Case, scenario Scenario, opts Options) ([]Verdict, RunStat
 	return finish(verdicts, done, start, workers, err)
 }
 
+// RunCase executes one generated case through the isolation layer and
+// returns its verdict — the single-cell unit of work a fleet worker
+// executes for a leased shard. It is exactly what RunParallel does per
+// cell, so a remotely executed case yields the same verdict as a local
+// one for the same deterministic scenario and config.
+func RunCase(c Case, scenario Scenario, cfg harden.Config, repro func(Case) string) Verdict {
+	return runCase(c, scenario, cfg, repro)
+}
+
 // runCase executes one cell through the isolation layer and folds the
 // containment record into the verdict.
 func runCase(c Case, scenario Scenario, cfg harden.Config, repro func(Case) string) Verdict {

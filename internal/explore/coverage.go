@@ -76,6 +76,25 @@ func (c *Coverage) Bits(fn func(bit int)) {
 	}
 }
 
+// Words returns a copy of the bitmap's raw 64-bit words — the form fleet
+// workers ship coverage home in. Word i holds feature bits [64i, 64i+64).
+func (c *Coverage) Words() []uint64 {
+	out := make([]uint64, mapWords)
+	copy(out, c.bits[:])
+	return out
+}
+
+// SetWord installs one raw word at index i, ORing into whatever is
+// already set; out-of-range indices are an error. Together with Words it
+// round-trips a bitmap through a sparse wire encoding.
+func (c *Coverage) SetWord(i int, w uint64) error {
+	if i < 0 || i >= mapWords {
+		return fmt.Errorf("explore: coverage word index %d out of [0,%d)", i, mapWords)
+	}
+	c.bits[i] |= w
+	return nil
+}
+
 // Fingerprint hashes the bitmap into a short stable hex string.
 func (c *Coverage) Fingerprint() string {
 	h := uint64(14695981039346656037)

@@ -59,6 +59,15 @@ type Options struct {
 	// different clock from a fork.
 	Snapshot bool
 
+	// EvalBatch, when non-nil, overrides whole-batch candidate evaluation
+	// — the fleet coordinator uses it to shard generation batches over
+	// worker processes. It must return outs[i] = the evaluation of
+	// batch[i] (a pure function of the schedule), preserving order;
+	// completion order inside the hook is free. Shrink evaluations still
+	// run locally through the default path, and Snapshot is ignored while
+	// the hook is set (the hook owns batch execution).
+	EvalBatch func(ctx context.Context, batch []Schedule) ([]*Outcome, error)
+
 	// evaluate overrides candidate evaluation; tests use it to inject
 	// deterministic crashes and stalls without a buggy protocol stack.
 	// Both the fuzz loop and the shrinker route through it.
@@ -162,8 +171,9 @@ type corpusEntry struct {
 func Fuzz(opts Options) (*Report, error) {
 	// The snapshot fast path replaces whole-batch evaluation, so it only
 	// applies when candidate evaluation is the real thing (not a test
-	// hook) and the isolation policy carries no wall-clock semantics.
-	snapOn := opts.Snapshot && opts.evaluate == nil && snapshotEligible(opts.Harden)
+	// hook or a fleet batch dispatcher) and the isolation policy carries
+	// no wall-clock semantics.
+	snapOn := opts.Snapshot && opts.evaluate == nil && opts.EvalBatch == nil && snapshotEligible(opts.Harden)
 	opts = opts.withDefaults()
 	rng := dist.NewSource(opts.Seed)
 	rep := &Report{Seed: opts.Seed}
@@ -205,7 +215,12 @@ func Fuzz(opts Options) (*Report, error) {
 	evalBatch := func(batch []Schedule) ([]*Outcome, error) {
 		var outs []*Outcome
 		var err error
-		if snapOn {
+		if opts.EvalBatch != nil {
+			outs, err = opts.EvalBatch(opts.Context, batch)
+			if err == nil && len(outs) != len(batch) {
+				err = fmt.Errorf("explore: EvalBatch returned %d outcomes for %d candidates", len(outs), len(batch))
+			}
+		} else if snapOn {
 			outs, err = snapEvalBatch(opts.Context, opts.Workers, batch, opts.Profile, opts.Harden, &rep.Snapshot)
 		} else {
 			outs = make([]*Outcome, len(batch))

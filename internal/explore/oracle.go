@@ -113,6 +113,13 @@ func Evaluate(s Schedule, prof tcp.Profile) *Outcome {
 	return evaluate(s, prof, harden.Config{})
 }
 
+// EvaluateWith is Evaluate with an explicit isolation policy — fleet
+// workers thread the job's wire-carried harden config through here so a
+// remotely evaluated schedule is judged exactly like a local one.
+func EvaluateWith(s Schedule, prof tcp.Profile, cfg harden.Config) *Outcome {
+	return evaluate(s, prof, cfg)
+}
+
 // evaluate is Evaluate with an explicit isolation policy (fuzzing runs
 // thread Options.Harden through here).
 func evaluate(s Schedule, prof tcp.Profile, cfg harden.Config) *Outcome {

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"pfi/internal/campaign"
+	"pfi/internal/harden"
+)
+
+// NewCampaign builds a coordinator that shards the given campaign matrix
+// over the fleet. scenario names the registered scenario every worker
+// drives cells through (see RegisterScenario); hw is the deterministic
+// isolation policy each cell runs under on the worker.
+func NewCampaign(spec campaign.Spec, scenario string, hw WireHarden, cfg Config) *Coordinator {
+	sp := spec
+	return NewCoordinator(Job{Kind: JobCampaign, Spec: &sp, Scenario: scenario, Harden: hw}, cfg)
+}
+
+// RunCampaign shards the job's case matrix into units, dispatches them
+// to whatever workers join, and merges the verdict stream back in
+// generation order — bit-identical (status, name, ok, note, error text)
+// to single-process campaign.RunParallel with the same spec, scenario,
+// and harden knobs, at any shard count and any completion order.
+func (c *Coordinator) RunCampaign(ctx context.Context) ([]campaign.Verdict, campaign.RunStats, error) {
+	if c.job.Kind != JobCampaign {
+		return nil, campaign.RunStats{}, fmt.Errorf("fleet: RunCampaign on a %s coordinator", c.job.Kind)
+	}
+	cases, err := campaign.Generate(*c.job.Spec)
+	if err != nil {
+		return nil, campaign.RunStats{}, err
+	}
+	start := time.Now()
+	results, err := c.RunRound(ctx, c.newRound(len(cases), nil))
+
+	verdicts := make([]campaign.Verdict, 0, len(cases))
+	retries := 0
+	for _, res := range results {
+		if res == nil {
+			continue // round aborted before this unit landed
+		}
+		for _, wv := range res.Verdicts {
+			verdicts = append(verdicts, verdictFromWire(cases[wv.Index], wv))
+			retries += wv.Retries
+		}
+	}
+	stats := campaignStats(verdicts, retries, c.Stats().WorkersSeen, time.Since(start))
+	return verdicts, stats, err
+}
+
+// verdictFromWire rebuilds a campaign.Verdict from its wire projection,
+// reattaching the locally regenerated case. Isolation records do not
+// travel (their stacks are worker-side); the outcome kind and error text
+// do.
+func verdictFromWire(cs campaign.Case, w WireVerdict) campaign.Verdict {
+	v := campaign.Verdict{
+		Case:    cs,
+		OK:      w.OK,
+		Note:    w.Note,
+		Outcome: harden.Kind(w.Outcome),
+		Elapsed: time.Duration(w.ElapsedUS) * time.Microsecond,
+	}
+	if w.Err != "" {
+		v.Err = errors.New(w.Err)
+	}
+	return v
+}
+
+// campaignStats recomputes sweep statistics from merged verdicts — the
+// same classification finish() applies in-process.
+func campaignStats(vs []campaign.Verdict, retries, workers int, elapsed time.Duration) campaign.RunStats {
+	stats := campaign.RunStats{Cases: len(vs), Workers: workers, Elapsed: elapsed, Retries: retries}
+	for i := range vs {
+		switch {
+		case vs[i].Err != nil:
+			stats.Errored++
+		case vs[i].OK:
+			stats.Passed++
+		default:
+			stats.Failed++
+		}
+		switch vs[i].Outcome {
+		case harden.ToolFault:
+			stats.Crashes++
+		case harden.Timeout, harden.Livelock:
+			stats.Timeouts++
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		stats.CasesPerSecond = float64(stats.Cases) / s
+	}
+	return stats
+}
+
+// CanonVerdicts renders a verdict stream canonically for cross-process
+// comparison: one line per verdict with every deterministic field —
+// status, case name, ok, note, error text, outcome — and none of the
+// wall-clock ones (elapsed, isolation stacks, repro paths live outside
+// this projection). Two runs are "the same sweep" exactly when their
+// canonical streams are byte-identical.
+func CanonVerdicts(vs []campaign.Verdict) string {
+	var b strings.Builder
+	for _, v := range vs {
+		errText := ""
+		if v.Err != nil {
+			errText = v.Err.Error()
+		}
+		fmt.Fprintf(&b, "%s|%s|%t|%s|%s|%d\n", v.Status(), v.Case.Name, v.OK, v.Note, errText, int(v.Outcome))
+	}
+	return b.String()
+}

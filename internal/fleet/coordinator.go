@@ -1,0 +1,521 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pfi/internal/explore"
+	"pfi/internal/harden"
+)
+
+// Config tunes a coordinator.
+type Config struct {
+	// Shards is how many units each round is split into (default 8).
+	// More units than workers keeps the pool load-balanced and bounds
+	// the blast radius of one lost worker to one small unit.
+	Shards int
+	// UnitTimeout reaps a leased unit whose worker has gone silent: the
+	// unit is reassigned (once) as a harden.Timeout loss. 0 disables the
+	// reaper — only connection loss then triggers reassignment, which is
+	// enough for stdio workers whose death is an EOF but leaves HTTP
+	// workers unmetered.
+	UnitTimeout time.Duration
+	// LeaseWait bounds how long a lease request blocks server-side before
+	// answering wait (long-poll interval; default 250ms).
+	LeaseWait time.Duration
+	// Log receives progress lines (nil: silent).
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.LeaseWait <= 0 {
+		c.LeaseWait = 250 * time.Millisecond
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// Stats counts the coordinator's control-plane events. All counters are
+// cumulative over the coordinator's lifetime.
+type Stats struct {
+	// Rounds and Units count dispatched work; UnitsDone completed units
+	// (including contained ones).
+	Rounds    int `json:"rounds"`
+	Units     int `json:"units"`
+	UnitsDone int `json:"units_done"`
+	// Reassigned counts units put back in the queue after their worker
+	// was lost; each unit is reassigned at most once.
+	Reassigned int `json:"reassigned"`
+	// Contained counts units lost twice and recorded as contained cells
+	// instead of reassigned again.
+	Contained int `json:"contained"`
+	// Stale counts results dropped because their unit was already
+	// completed or reassigned elsewhere — the exactly-once guard firing.
+	Stale int `json:"stale"`
+	// BadFrames counts undecodable, version-mismatched, or structurally
+	// invalid frames.
+	BadFrames int `json:"bad_frames"`
+	// WorkersSeen and WorkersLost count sessions; draining exits are not
+	// losses.
+	WorkersSeen int `json:"workers_seen"`
+	WorkersLost int `json:"workers_lost"`
+}
+
+// unit lifecycle states.
+const (
+	unitPending = iota
+	unitLeased
+	unitDone
+)
+
+// session is one worker's per-connection state.
+type session struct {
+	id        string
+	worker    string
+	lost      bool
+	leased    map[int]bool // unit IDs currently held
+	completed int
+	lastSeen  time.Time
+}
+
+// round is one dispatched batch of units.
+type round struct {
+	id      int
+	units   []Unit
+	byID    map[int]int // unit ID -> position
+	state   []int
+	owner   []string
+	losses  []int
+	expiry  []time.Time
+	results []*Result
+	left    int
+	done    chan struct{}
+}
+
+// Coordinator is the fleet's single source of truth: it owns the job,
+// the work plan, every session, and the merge. One handler core serves
+// both transports; all state lives behind one mutex, so completion order
+// can never influence what gets merged where.
+type Coordinator struct {
+	cfg   Config
+	job   Job
+	start time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions map[string]*session
+	seq      int
+	unitSeq  int
+	roundSeq int
+	round    *round
+	draining bool
+	stats    Stats
+}
+
+// NewCoordinator builds a coordinator for the given job. Use NewCampaign
+// or NewFuzz for the job-shaped constructors.
+func NewCoordinator(job Job, cfg Config) *Coordinator {
+	c := &Coordinator{cfg: cfg.withDefaults(), job: job, start: time.Now(), sessions: map[string]*session{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Job returns the coordinator's job description.
+func (c *Coordinator) Job() Job { return c.job }
+
+// Stats returns a snapshot of the control-plane counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close drains the fleet: every subsequent lease answers drain, so
+// workers exit cleanly, and worker disconnects stop counting as losses.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.draining = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Draining reports whether Close has been called.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Handle decodes one raw frame, dispatches it through the handler core,
+// and encodes the response — the byte-level entry both transports use.
+func (c *Coordinator) Handle(frame []byte) []byte {
+	e, err := Decode(frame)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.BadFrames++
+		c.mu.Unlock()
+		return mustEncode(errEnvelope(err.Error()))
+	}
+	return mustEncode(c.HandleEnvelope(e))
+}
+
+// HandleEnvelope is the transport-agnostic handler core. Every request
+// from every worker funnels through here.
+func (c *Coordinator) HandleEnvelope(e Envelope) Envelope {
+	if e.V != ProtocolVersion {
+		c.mu.Lock()
+		c.stats.BadFrames++
+		c.mu.Unlock()
+		return errEnvelope(fmt.Sprintf(
+			"fleet: protocol version mismatch: coordinator speaks v%d, peer sent v%d — refusing to merge across versions",
+			ProtocolVersion, e.V))
+	}
+	switch e.Type {
+	case MsgHello:
+		return c.hello(e)
+	case MsgLease:
+		return c.lease(e)
+	case MsgResult:
+		return c.result(e)
+	default:
+		c.mu.Lock()
+		c.stats.BadFrames++
+		c.mu.Unlock()
+		return errEnvelope(fmt.Sprintf("fleet: unexpected message type %q", e.Type))
+	}
+}
+
+// hello admits a worker: allocate a session, hand back the job.
+func (c *Coordinator) hello(e Envelope) Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	s := &session{id: fmt.Sprintf("w%d", c.seq), worker: e.Worker, leased: map[int]bool{}, lastSeen: time.Now()}
+	c.sessions[s.id] = s
+	c.stats.WorkersSeen++
+	c.cfg.Log("fleet: worker %s (%s) joined", s.id, s.worker)
+	job := c.job
+	return Envelope{V: ProtocolVersion, Type: MsgJob, Session: s.id, Job: &job}
+}
+
+// lease hands the requesting session the next pending unit, long-polling
+// up to LeaseWait for one to appear. Draining answers drain; a quiet
+// queue answers wait.
+func (c *Coordinator) lease(e Envelope) Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sessions[e.Session]
+	if s == nil || s.lost {
+		return errEnvelope(fmt.Sprintf("fleet: unknown or lost session %q", e.Session))
+	}
+	s.lastSeen = time.Now()
+	deadline := time.Now().Add(c.cfg.LeaseWait)
+	for {
+		if c.draining {
+			return Envelope{V: ProtocolVersion, Type: MsgDrain}
+		}
+		if r := c.round; r != nil {
+			for pos := range r.units {
+				if r.state[pos] != unitPending {
+					continue
+				}
+				r.state[pos] = unitLeased
+				r.owner[pos] = s.id
+				if c.cfg.UnitTimeout > 0 {
+					r.expiry[pos] = time.Now().Add(c.cfg.UnitTimeout)
+				}
+				s.leased[r.units[pos].ID] = true
+				u := r.units[pos]
+				return Envelope{V: ProtocolVersion, Type: MsgUnit, Unit: &u}
+			}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Envelope{V: ProtocolVersion, Type: MsgWait}
+		}
+		// cond.Wait with a deadline: arm a broadcast so the wait can't
+		// outlive the long-poll window.
+		t := time.AfterFunc(remaining, c.cond.Broadcast)
+		c.cond.Wait()
+		t.Stop()
+	}
+}
+
+// result merges a completed unit — or drops it as stale if the unit was
+// already completed or reassigned away from the sender. A structurally
+// invalid result (wrong cell count, out-of-range indices, bad coverage
+// words) is treated as losing the unit: reassigned once, contained on
+// the second strike, never merged.
+func (c *Coordinator) result(e Envelope) Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sessions[e.Session]
+	if s == nil {
+		return errEnvelope(fmt.Sprintf("fleet: unknown session %q", e.Session))
+	}
+	s.lastSeen = time.Now()
+	if e.Result == nil {
+		c.stats.BadFrames++
+		return errEnvelope("fleet: result frame carries no result")
+	}
+	r := c.round
+	if r == nil {
+		c.stats.Stale++
+		return Envelope{V: ProtocolVersion, Type: MsgAck}
+	}
+	pos, ok := r.byID[e.Result.Unit]
+	if !ok || r.state[pos] == unitDone || r.owner[pos] != s.id {
+		c.stats.Stale++
+		return Envelope{V: ProtocolVersion, Type: MsgAck}
+	}
+	if err := validateResult(c.job.Kind, r.units[pos], e.Result); err != nil {
+		c.stats.BadFrames++
+		c.loseUnitLocked(r, pos, harden.ToolFault, fmt.Sprintf("fleet: unit %d: invalid result from %s: %v", e.Result.Unit, s.id, err))
+		return errEnvelope(err.Error())
+	}
+	delete(s.leased, e.Result.Unit)
+	s.completed++
+	res := *e.Result
+	c.completeLocked(r, pos, &res)
+	return Envelope{V: ProtocolVersion, Type: MsgAck}
+}
+
+// validateResult enforces the merge precondition: exactly one entry per
+// cell, in cell order, with in-range coverage words — a truncated or
+// garbled result must never reach the merge.
+func validateResult(kind string, u Unit, res *Result) error {
+	want := u.Hi - u.Lo
+	switch kind {
+	case JobCampaign:
+		if len(res.Verdicts) != want {
+			return fmt.Errorf("fleet: unit %d: %d verdicts for %d cells", u.ID, len(res.Verdicts), want)
+		}
+		for i, v := range res.Verdicts {
+			if v.Index != u.Lo+i {
+				return fmt.Errorf("fleet: unit %d: verdict %d has index %d, want %d", u.ID, i, v.Index, u.Lo+i)
+			}
+		}
+	case JobFuzz:
+		if len(res.Outcomes) != want {
+			return fmt.Errorf("fleet: unit %d: %d outcomes for %d cells", u.ID, len(res.Outcomes), want)
+		}
+		for i, o := range res.Outcomes {
+			if o.Index != u.Lo+i {
+				return fmt.Errorf("fleet: unit %d: outcome %d has index %d, want %d", u.ID, i, o.Index, u.Lo+i)
+			}
+			if _, err := covFromWire(o.Cov); err != nil {
+				return fmt.Errorf("fleet: unit %d: outcome %d: %w", u.ID, i, err)
+			}
+		}
+	default:
+		return fmt.Errorf("fleet: unknown job kind %q", kind)
+	}
+	return nil
+}
+
+// completeLocked records a unit's results and wakes the round waiter
+// when the last unit lands.
+func (c *Coordinator) completeLocked(r *round, pos int, res *Result) {
+	r.results[pos] = res
+	r.state[pos] = unitDone
+	r.owner[pos] = ""
+	r.left--
+	c.stats.UnitsDone++
+	if r.left == 0 {
+		close(r.done)
+	}
+	c.cond.Broadcast()
+}
+
+// LoseSession marks a worker gone — its connection closed, its process
+// died — and recovers every unit it was holding. kind classifies the
+// loss under the harden taxonomy (ToolFault for a dead connection,
+// Timeout for a reaped lease).
+func (c *Coordinator) LoseSession(id string, kind harden.Kind) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sessions[id]
+	if s == nil || s.lost {
+		return
+	}
+	s.lost = true
+	if !c.draining {
+		c.stats.WorkersLost++
+		c.cfg.Log("fleet: worker %s lost (%s)", id, kind)
+	}
+	if r := c.round; r != nil {
+		for pos := range r.units {
+			if r.state[pos] == unitLeased && r.owner[pos] == id {
+				c.loseUnitLocked(r, pos, kind, fmt.Sprintf("fleet: worker %s lost (%s) holding unit %d", id, kind, r.units[pos].ID))
+			}
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// loseUnitLocked recovers one lost unit: the first loss puts it back in
+// the queue (exactly one reassignment); a second loss records its cells
+// as contained so a flapping worker can neither starve nor duplicate a
+// cell.
+func (c *Coordinator) loseUnitLocked(r *round, pos int, kind harden.Kind, why string) {
+	if s := c.sessions[r.owner[pos]]; s != nil {
+		delete(s.leased, r.units[pos].ID)
+	}
+	r.losses[pos]++
+	r.expiry[pos] = time.Time{}
+	if r.losses[pos] <= 1 {
+		r.state[pos] = unitPending
+		r.owner[pos] = ""
+		c.stats.Reassigned++
+		c.cfg.Log("fleet: unit %d lost once (%s); reassigning", r.units[pos].ID, kind)
+		c.cond.Broadcast()
+		return
+	}
+	c.stats.Contained++
+	c.cfg.Log("fleet: unit %d lost twice; recording cells as contained", r.units[pos].ID)
+	c.completeLocked(r, pos, containedResult(c.job, r.units[pos], kind, why))
+}
+
+// containedResult synthesizes the verdicts for a unit whose execution
+// was lost twice: every cell becomes a contained record under the harden
+// taxonomy (campaign) or an exec-error violation (fuzz — machine-
+// dependent losses are reported, never emitted, matching how wall-clock
+// timeouts degrade elsewhere).
+func containedResult(job Job, u Unit, kind harden.Kind, why string) *Result {
+	res := &Result{Unit: u.ID}
+	if kind != harden.Timeout {
+		kind = harden.ToolFault
+	}
+	for i := u.Lo; i < u.Hi; i++ {
+		switch job.Kind {
+		case JobCampaign:
+			res.Verdicts = append(res.Verdicts, WireVerdict{
+				Index:   i,
+				Err:     why + " (reassignment exhausted)",
+				Outcome: int(kind),
+			})
+		case JobFuzz:
+			res.Outcomes = append(res.Outcomes, WireOutcome{
+				Index:    i,
+				Schedule: u.Schedules[i-u.Lo],
+				Violations: []explore.Violation{{
+					Kind:   explore.ViolExecError,
+					Detail: why + " (reassignment exhausted)",
+				}},
+			})
+		}
+	}
+	return res
+}
+
+// reapExpired loses every leased unit whose worker has been silent past
+// the unit timeout. Called from the round waiter's tick.
+func (c *Coordinator) reapExpired() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.round
+	if r == nil || c.cfg.UnitTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	for pos := range r.units {
+		if r.state[pos] == unitLeased && !r.expiry[pos].IsZero() && now.After(r.expiry[pos]) {
+			c.loseUnitLocked(r, pos, harden.Timeout,
+				fmt.Sprintf("fleet: unit %d timed out after %s on %s", r.units[pos].ID, c.cfg.UnitTimeout, r.owner[pos]))
+		}
+	}
+}
+
+// newRound plans one dispatch: spans over n cells, stamped with fresh
+// unit IDs. payload fills the per-unit fuzz schedules (nil for campaign
+// jobs, whose workers regenerate cells from the spec).
+func (c *Coordinator) newRound(n int, payload func(Span) []explore.Schedule) *round {
+	spans := Plan(n, c.cfg.Shards)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &round{
+		id:      c.roundSeq,
+		byID:    map[int]int{},
+		state:   make([]int, len(spans)),
+		owner:   make([]string, len(spans)),
+		losses:  make([]int, len(spans)),
+		expiry:  make([]time.Time, len(spans)),
+		results: make([]*Result, len(spans)),
+		left:    len(spans),
+		done:    make(chan struct{}),
+	}
+	c.roundSeq++
+	for _, sp := range spans {
+		u := Unit{ID: c.unitSeq, Round: r.id, Lo: sp.Lo, Hi: sp.Hi}
+		c.unitSeq++
+		if payload != nil {
+			u.Schedules = payload(sp)
+		}
+		r.byID[u.ID] = len(r.units)
+		r.units = append(r.units, u)
+	}
+	if r.left == 0 {
+		close(r.done) // empty matrix: the round is born complete
+	}
+	c.stats.Rounds++
+	c.stats.Units += len(r.units)
+	return r
+}
+
+// RunRound dispatches one planned round to the fleet and blocks until
+// every unit is done (completed or contained), the context is canceled,
+// or the coordinator is drained. Results come back in unit order — the
+// positions workers finished them in never matter.
+func (c *Coordinator) RunRound(ctx context.Context, r *round) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if c.round != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fleet: a round is already active")
+	}
+	c.round = r
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	tick := time.NewTicker(c.tickInterval())
+	defer tick.Stop()
+	var err error
+loop:
+	for {
+		select {
+		case <-r.done:
+			break loop
+		case <-ctx.Done():
+			err = ctx.Err()
+			break loop
+		case <-tick.C:
+			c.reapExpired()
+		}
+	}
+	c.mu.Lock()
+	c.round = nil
+	c.cond.Broadcast()
+	results := append([]*Result(nil), r.results...)
+	c.mu.Unlock()
+	return results, err
+}
+
+// tickInterval paces the reaper well inside the unit timeout.
+func (c *Coordinator) tickInterval() time.Duration {
+	if c.cfg.UnitTimeout > 0 {
+		if t := c.cfg.UnitTimeout / 4; t >= 10*time.Millisecond {
+			return t
+		}
+		return 10 * time.Millisecond
+	}
+	return 100 * time.Millisecond
+}

@@ -1,0 +1,272 @@
+// Package fleet shards campaign matrices and fuzz generation batches
+// across N worker processes — local spawned children or remote machines —
+// and merges their verdicts back deterministically. It is the
+// fault-injection-as-a-service substrate: a single coordinator owns the
+// work plan and the merge, workers own nothing but the cell they are
+// leasing, and the result stream is bit-identical to single-process
+// campaign.RunParallel / explore.Fuzz for the same seed at any shard
+// count and any completion order.
+//
+// Architecture: one handler core (Coordinator.HandleEnvelope) behind two
+// transports. Spawned workers speak newline-delimited JSON frames over
+// their stdin/stdout (stdio.go); remote workers POST the same frames to
+// the coordinator's HTTP control plane (http.go), which also serves
+// /status and /metrics for long-running fleets. Sessions are per-worker
+// state: a worker announces itself with hello, receives the job and a
+// session ID, then loops lease -> execute -> result until drained.
+//
+// Loss recovery reuses the harden taxonomy: a unit whose worker dies
+// (stdio EOF -> ToolFault) or goes silent past the unit timeout
+// (Timeout) is reassigned exactly once; a second loss records the unit's
+// cells as contained instead of reassigning again, so one hostile worker
+// can neither duplicate nor starve a cell. Results arriving for a unit
+// that was already completed or reassigned elsewhere are counted stale
+// and dropped — exactly-once merge regardless of how workers misbehave.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pfi/internal/campaign"
+	"pfi/internal/explore"
+	"pfi/internal/harden"
+)
+
+// ProtocolVersion stamps every frame. A coordinator rejects frames from
+// any other version with an explicit error rather than risking a silent
+// mis-merge between drifted binaries.
+const ProtocolVersion = 1
+
+// Message types carried in Envelope.Type. hello/lease/result flow worker
+// -> coordinator; job/unit/wait/drain/ack/error are the responses.
+const (
+	MsgHello  = "hello"  // worker announces itself, expects MsgJob
+	MsgJob    = "job"    // coordinator assigns a session + the job
+	MsgLease  = "lease"  // worker asks for a unit
+	MsgUnit   = "unit"   // coordinator leases one work unit
+	MsgWait   = "wait"   // no unit available yet; poll again
+	MsgDrain  = "drain"  // no more work ever; worker exits
+	MsgResult = "result" // worker returns a completed unit
+	MsgAck    = "ack"    // coordinator accepted (or staled) the result
+	MsgError  = "error"  // protocol-level rejection; body in Error
+)
+
+// Job kinds.
+const (
+	JobCampaign = "campaign" // shard a generated case matrix
+	JobFuzz     = "fuzz"     // evaluate fuzz candidate schedules
+)
+
+// Envelope is the single wire frame both transports carry: one JSON
+// object per message, newline-delimited on stdio, one per HTTP POST.
+type Envelope struct {
+	// V is the protocol version; every frame carries it and mismatches
+	// are rejected at the handler, never silently merged.
+	V int `json:"v"`
+	// Type is one of the Msg* constants.
+	Type string `json:"type"`
+	// Session identifies the worker (assigned by MsgJob, echoed on every
+	// subsequent request).
+	Session string `json:"session,omitempty"`
+	// Worker is the peer's self-description on hello (diagnostics only).
+	Worker string `json:"worker,omitempty"`
+	// Job is the assignment payload of MsgJob.
+	Job *Job `json:"job,omitempty"`
+	// Unit is the leased work of MsgUnit.
+	Unit *Unit `json:"unit,omitempty"`
+	// Result is the completed work of MsgResult.
+	Result *Result `json:"result,omitempty"`
+	// Error is the rejection text of MsgError.
+	Error string `json:"error,omitempty"`
+}
+
+// Job tells a worker everything it needs to execute any unit of the run.
+// Campaign workers regenerate the deterministic case matrix locally from
+// Spec (cells travel as index ranges, never as scripts); fuzz workers
+// receive candidate schedules inline per unit.
+type Job struct {
+	// Kind is JobCampaign or JobFuzz.
+	Kind string `json:"kind"`
+	// Spec is the campaign matrix specification (JobCampaign).
+	Spec *campaign.Spec `json:"spec,omitempty"`
+	// Scenario names the registered scenario workers drive each case
+	// through (JobCampaign; see RegisterScenario).
+	Scenario string `json:"scenario,omitempty"`
+	// Profile names the default vendor profile for fuzz schedules that do
+	// not pin one ("" = SunOS 4.1.3, the runner default everywhere).
+	Profile string `json:"profile,omitempty"`
+	// Harden is the per-cell isolation policy, deterministic knobs only.
+	Harden WireHarden `json:"harden"`
+}
+
+// WireHarden is the subset of harden.Config a job carries: the
+// simulated-time watchdogs and budgets whose verdicts are identical on
+// every machine. Wall-clock knobs (Timeout, Context) deliberately stay
+// coordinator-side — the coordinator meters workers with its own unit
+// timeout instead, so remote execution cannot make a sweep
+// machine-dependent.
+type WireHarden struct {
+	StallSteps   int  `json:"stall_steps,omitempty"`
+	TraceEntries int  `json:"trace_entries,omitempty"`
+	ScriptSteps  int  `json:"script_steps,omitempty"`
+	InjectedMsgs int  `json:"injected_msgs,omitempty"`
+	Timers       int  `json:"timers,omitempty"`
+	Retry        bool `json:"retry,omitempty"`
+}
+
+// HardenWire projects a harden.Config onto its wire-safe subset.
+func HardenWire(c harden.Config) WireHarden {
+	return WireHarden{
+		StallSteps:   c.StallSteps,
+		TraceEntries: c.Budget.TraceEntries,
+		ScriptSteps:  c.Budget.ScriptSteps,
+		InjectedMsgs: c.Budget.InjectedMsgs,
+		Timers:       c.Budget.Timers,
+		Retry:        c.Retry,
+	}
+}
+
+// Config expands the wire form back into a worker-side harden.Config.
+func (w WireHarden) Config() harden.Config {
+	return harden.Config{
+		StallSteps: w.StallSteps,
+		Budget: harden.Budget{
+			TraceEntries: w.TraceEntries,
+			ScriptSteps:  w.ScriptSteps,
+			InjectedMsgs: w.InjectedMsgs,
+			Timers:       w.Timers,
+		},
+		Retry: w.Retry,
+	}
+}
+
+// Unit is one leased work unit: a contiguous [Lo,Hi) slice of the
+// round's index space. Campaign units address the generated case matrix;
+// fuzz units carry their candidate schedules inline (indexed Lo..Hi-1
+// within the generation batch).
+type Unit struct {
+	// ID is unique across the coordinator's lifetime.
+	ID int `json:"id"`
+	// Round groups the units of one dispatch (fuzz generations dispatch
+	// one round each; a campaign is a single round).
+	Round int `json:"round"`
+	// Lo and Hi bound the unit's cell indices: [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Schedules is the fuzz payload: the candidate genomes for cells
+	// Lo..Hi-1, in order.
+	Schedules []explore.Schedule `json:"schedules,omitempty"`
+}
+
+// Result is a completed unit: exactly one entry per cell, in cell order.
+type Result struct {
+	// Unit echoes the unit ID.
+	Unit int `json:"unit"`
+	// Verdicts are the campaign cells (JobCampaign).
+	Verdicts []WireVerdict `json:"verdicts,omitempty"`
+	// Outcomes are the evaluated fuzz candidates (JobFuzz).
+	Outcomes []WireOutcome `json:"outcomes,omitempty"`
+}
+
+// WireVerdict is the deterministic projection of a campaign.Verdict.
+// Wall-clock cost travels for observability but is excluded from
+// CanonVerdicts, and isolation stacks never travel at all.
+type WireVerdict struct {
+	// Index is the global case index in the generated matrix.
+	Index int `json:"index"`
+	// OK, Note, Err, and Outcome mirror campaign.Verdict (Err as text,
+	// "" meaning nil; Outcome as the harden.Kind ordinal).
+	OK      bool   `json:"ok"`
+	Note    string `json:"note,omitempty"`
+	Err     string `json:"err,omitempty"`
+	Outcome int    `json:"outcome"`
+	// Retries counts isolation-layer retry attempts (stats only).
+	Retries int `json:"retries,omitempty"`
+	// ElapsedUS is the worker-side wall-clock cost in microseconds.
+	ElapsedUS int64 `json:"elapsed_us,omitempty"`
+}
+
+// CovWord is one non-zero word of a coverage bitmap — the sparse wire
+// form of explore.Coverage.
+type CovWord struct {
+	// I is the word index; W its 64 feature bits.
+	I int    `json:"i"`
+	W uint64 `json:"w"`
+}
+
+// WireOutcome is the deterministic projection of an explore.Outcome: the
+// schedule, its coverage, and its oracle violations — everything the fuzz
+// loop's admit/handle path consumes. The conformance Result stays on the
+// worker; shrinking re-evaluates locally on the coordinator.
+type WireOutcome struct {
+	// Index is the cell index within the generation batch.
+	Index int `json:"index"`
+	// Schedule is the evaluated genome.
+	Schedule explore.Schedule `json:"schedule"`
+	// Cov is the sparse coverage bitmap.
+	Cov []CovWord `json:"cov,omitempty"`
+	// Violations are the oracle breaches observed on the worker.
+	Violations []explore.Violation `json:"violations,omitempty"`
+}
+
+// Encode renders an envelope as one JSON frame (no trailing newline; the
+// stdio transport adds its own delimiter).
+func Encode(e Envelope) ([]byte, error) {
+	return json.Marshal(e)
+}
+
+// Decode parses one frame. Malformed JSON and structurally empty frames
+// are rejected here; version mismatches are the handler's job so the
+// rejection can name both versions.
+func Decode(data []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Envelope{}, fmt.Errorf("fleet: malformed frame: %w", err)
+	}
+	if e.Type == "" {
+		return Envelope{}, fmt.Errorf("fleet: frame missing message type")
+	}
+	return e, nil
+}
+
+// errEnvelope builds a protocol-level rejection.
+func errEnvelope(msg string) Envelope {
+	return Envelope{V: ProtocolVersion, Type: MsgError, Error: msg}
+}
+
+// mustEncode marshals a handler-built envelope; these are all plain
+// structs, so a marshal failure is a programming error.
+func mustEncode(e Envelope) []byte {
+	data, err := Encode(e)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: encoding %s envelope: %v", e.Type, err))
+	}
+	return data
+}
+
+// covToWire sparsifies a coverage bitmap.
+func covToWire(cov *explore.Coverage) []CovWord {
+	if cov == nil {
+		return nil
+	}
+	var out []CovWord
+	for i, w := range cov.Words() {
+		if w != 0 {
+			out = append(out, CovWord{I: i, W: w})
+		}
+	}
+	return out
+}
+
+// covFromWire rebuilds a coverage bitmap; bad word indices mean a
+// corrupted or hostile result and surface as an error.
+func covFromWire(words []CovWord) (*explore.Coverage, error) {
+	cov := &explore.Coverage{}
+	for _, cw := range words {
+		if err := cov.SetWord(cw.I, cw.W); err != nil {
+			return nil, err
+		}
+	}
+	return cov, nil
+}

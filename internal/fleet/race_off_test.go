@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleet
+
+// raceDetectorEnabled scales the process battery's fuzz budgets: full
+// size normally, smaller under -race where each evaluation costs ~10x.
+const raceDetectorEnabled = false

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"pfi/internal/harden"
+)
+
+// maxFrame bounds one newline-delimited wire frame. Campaign units are a
+// few KB; fuzz units carry inline schedules and can reach a few hundred
+// KB. 16 MiB is far above either and far below anything that would mask
+// a runaway encoder.
+const maxFrame = 16 << 20
+
+// ServeConn runs the coordinator side of one stdio worker connection:
+// newline-delimited JSON envelopes in, one reply frame per request out.
+// It returns when the peer closes its write side. If the connection dies
+// while its session holds leases — a crashed or killed worker — the
+// session's units re-enter the pool via loss recovery, classified as a
+// tool fault (the peer vanished; it did not merely run long).
+func (c *Coordinator) ServeConn(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxFrame)
+	session := ""
+	var err error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// Sniff the session so an abrupt EOF can be pinned on it. The
+		// handler core owns all protocol semantics; this is bookkeeping.
+		if e, derr := Decode(line); derr == nil {
+			if e.Type == MsgResult || e.Type == MsgLease {
+				session = e.Session
+			}
+		}
+		reply := c.Handle(line)
+		if e, derr := Decode(line); derr == nil && e.Type == MsgHello {
+			if re, rerr := Decode(reply); rerr == nil && re.Type == MsgJob {
+				session = re.Session
+			}
+		}
+		if _, werr := w.Write(append(reply, '\n')); werr != nil {
+			err = werr
+			break
+		}
+	}
+	if err == nil {
+		err = sc.Err()
+	}
+	if session != "" {
+		c.LoseSession(session, harden.ToolFault)
+	}
+	return err
+}
+
+// ServeStdio runs a worker over the process's own stdin/stdout — the
+// entry point a spawned worker child calls. All human-facing output must
+// go to stderr; stdout carries only protocol frames.
+func ServeStdio(name string) error {
+	return RunWorker(newStdioConn(os.Stdin, os.Stdout, nil), name)
+}
+
+// stdioConn frames envelopes as newline-delimited JSON over a byte
+// stream. closeFn, when set, tears down the underlying transport.
+type stdioConn struct {
+	mu      sync.Mutex
+	w       io.Writer
+	sc      *bufio.Scanner
+	closeFn func() error
+}
+
+func newStdioConn(r io.Reader, w io.Writer, closeFn func() error) *stdioConn {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxFrame)
+	return &stdioConn{w: w, sc: sc, closeFn: closeFn}
+}
+
+func (s *stdioConn) RoundTrip(e Envelope) (Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frame, err := Encode(e)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if _, err := s.w.Write(append(frame, '\n')); err != nil {
+		return Envelope{}, err
+	}
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		return Decode(line)
+	}
+	if err := s.sc.Err(); err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{}, io.EOF
+}
+
+func (s *stdioConn) Close() error {
+	if s.closeFn != nil {
+		return s.closeFn()
+	}
+	return nil
+}
+
+// Proc is one spawned worker process.
+type Proc struct {
+	Cmd  *exec.Cmd
+	done chan error
+}
+
+// Wait blocks until the worker process exits and returns its exit error.
+func (p *Proc) Wait() error { return <-p.done }
+
+// Kill SIGKILLs the worker process.
+func (p *Proc) Kill() error { return p.Cmd.Process.Kill() }
+
+// Pool is a set of spawned worker processes.
+type Pool struct {
+	Procs []*Proc
+}
+
+// Wait blocks until every worker has exited; a clean drain exits 0.
+func (p *Pool) Wait() {
+	for _, proc := range p.Procs {
+		_ = proc.Wait()
+	}
+}
+
+// Kill SIGKILLs every worker still running.
+func (p *Pool) Kill() {
+	for _, proc := range p.Procs {
+		_ = proc.Kill()
+	}
+}
+
+// SpawnWorkers forks n local worker processes, each running argv with
+// extra environment entries from env(i) appended to the parent's, and
+// serves each one's stdio connection off the coordinator on its own
+// goroutine. Worker stderr passes through to the parent's stderr. env
+// may be nil.
+//
+// The returned pool owns the children; callers typically run the round,
+// then Wait for the drained workers to exit.
+func (c *Coordinator) SpawnWorkers(n int, argv []string, env func(i int) []string) (*Pool, error) {
+	if n < 1 || len(argv) == 0 {
+		return nil, fmt.Errorf("fleet: spawn needs n >= 1 and a command")
+	}
+	pool := &Pool{}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = os.Environ()
+		if env != nil {
+			cmd.Env = append(cmd.Env, env(i)...)
+		}
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			pool.Kill()
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			pool.Kill()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			pool.Kill()
+			return nil, fmt.Errorf("fleet: spawn worker %d: %w", i, err)
+		}
+		proc := &Proc{Cmd: cmd, done: make(chan error, 1)}
+		go func() {
+			// The child's stdout EOF ends ServeConn; Wait then reaps it.
+			_ = c.ServeConn(stdout, stdin)
+			_ = stdin.Close()
+			proc.done <- cmd.Wait()
+		}()
+		pool.Procs = append(pool.Procs, proc)
+	}
+	return pool, nil
+}

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"pfi/internal/campaign"
+	"pfi/internal/explore"
+	"pfi/internal/tcp"
+)
+
+// Worker-side fault-injection hooks, read from the environment so the
+// control plane's own failure modes can be exercised from real separate
+// processes: a worker that SIGKILLs itself holding a lease (the kill -9
+// mid-batch of the test battery) or stalls past the unit timeout.
+const (
+	// EnvDieOnLease ("1"): SIGKILL this process immediately after its
+	// first unit lease is granted — the unit dies leased, exercising
+	// EOF-driven loss recovery.
+	EnvDieOnLease = "PFI_FLEET_DIE_ON_LEASE"
+	// EnvStallOnLease ("1"): block forever after the first unit lease —
+	// the worker stays alive but silent, exercising the lease reaper.
+	EnvStallOnLease = "PFI_FLEET_STALL_ON_LEASE"
+)
+
+var (
+	scenarioMu sync.RWMutex
+	scenarios  = map[string]campaign.Scenario{}
+)
+
+// RegisterScenario publishes a campaign scenario under a name workers
+// resolve jobs against. Coordinator and workers must register the same
+// deterministic scenario for the fleet's merge to equal the in-process
+// sweep — the name is the contract, the registry keeps functions out of
+// the wire protocol.
+func RegisterScenario(name string, s campaign.Scenario) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	scenarios[name] = s
+}
+
+func scenarioByName(name string) (campaign.Scenario, bool) {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// Conn is a worker's request/response channel to the coordinator. Both
+// transports satisfy it: stdio frames (stdioConn) and HTTP POSTs
+// (httpConn).
+type Conn interface {
+	// RoundTrip sends one envelope and returns the coordinator's reply.
+	RoundTrip(Envelope) (Envelope, error)
+	// Close releases the transport.
+	Close() error
+}
+
+// RunWorker drives the worker side of the protocol over an established
+// connection: hello, then lease -> execute -> result until drained. name
+// is the worker's self-description (diagnostics only). It returns nil on
+// a clean drain and the first transport or protocol error otherwise — a
+// worker that cannot make progress exits and lets the coordinator's loss
+// recovery own its units.
+func RunWorker(conn Conn, name string) error {
+	defer conn.Close()
+	resp, err := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgHello, Worker: name})
+	if err != nil {
+		return fmt.Errorf("fleet: hello: %w", err)
+	}
+	if err := checkReply(resp, MsgJob); err != nil {
+		return err
+	}
+	if resp.Job == nil || resp.Session == "" {
+		return fmt.Errorf("fleet: job reply missing job or session")
+	}
+	job, session := *resp.Job, resp.Session
+	leased := 0
+	for {
+		resp, err := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgLease, Session: session})
+		if err != nil {
+			return fmt.Errorf("fleet: lease: %w", err)
+		}
+		switch resp.Type {
+		case MsgWait:
+			continue
+		case MsgDrain:
+			return nil
+		case MsgUnit:
+			if resp.Unit == nil {
+				return fmt.Errorf("fleet: unit reply carries no unit")
+			}
+			if leased == 0 {
+				applyFaultHooks()
+			}
+			leased++
+			res, err := executeUnit(job, *resp.Unit)
+			if err != nil {
+				return fmt.Errorf("fleet: unit %d: %w", resp.Unit.ID, err)
+			}
+			ack, err := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgResult, Session: session, Result: res})
+			if err != nil {
+				return fmt.Errorf("fleet: result: %w", err)
+			}
+			if err := checkReply(ack, MsgAck); err != nil {
+				return err
+			}
+		default:
+			return replyError(resp)
+		}
+	}
+}
+
+// checkReply validates a coordinator reply's version and type.
+func checkReply(e Envelope, want string) error {
+	if e.Type == MsgError {
+		return replyError(e)
+	}
+	if e.V != ProtocolVersion {
+		return fmt.Errorf("fleet: protocol version mismatch: worker speaks v%d, coordinator sent v%d", ProtocolVersion, e.V)
+	}
+	if e.Type != want {
+		return fmt.Errorf("fleet: unexpected %q reply (want %q)", e.Type, want)
+	}
+	return nil
+}
+
+func replyError(e Envelope) error {
+	if e.Error != "" {
+		return fmt.Errorf("fleet: coordinator rejected: %s", e.Error)
+	}
+	return fmt.Errorf("fleet: unexpected %q reply", e.Type)
+}
+
+// applyFaultHooks honors the environment-driven control-plane fault
+// injection on the first granted lease.
+func applyFaultHooks() {
+	if os.Getenv(EnvDieOnLease) == "1" {
+		// kill -9 ourselves: no deferred cleanup, no goodbye frame — the
+		// coordinator must recover from a raw EOF with a unit leased.
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		time.Sleep(time.Minute) // unreachable; belt for non-delivery races
+	}
+	if os.Getenv(EnvStallOnLease) == "1" {
+		select {} // hold the lease forever; only the reaper ends this
+	}
+}
+
+// executeUnit runs one leased unit to completion: every cell, in order,
+// through the isolation layer, exactly as the in-process paths would.
+func executeUnit(job Job, u Unit) (*Result, error) {
+	res := &Result{Unit: u.ID}
+	cfg := job.Harden.Config()
+	switch job.Kind {
+	case JobCampaign:
+		if job.Spec == nil {
+			return nil, fmt.Errorf("fleet: campaign job carries no spec")
+		}
+		scenario, ok := scenarioByName(job.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("fleet: scenario %q not registered in this worker", job.Scenario)
+		}
+		cases, err := campaign.Generate(*job.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if u.Lo < 0 || u.Hi > len(cases) || u.Lo > u.Hi {
+			return nil, fmt.Errorf("fleet: unit [%d,%d) outside matrix of %d cases", u.Lo, u.Hi, len(cases))
+		}
+		for i := u.Lo; i < u.Hi; i++ {
+			v := campaign.RunCase(cases[i], scenario, cfg, nil)
+			res.Verdicts = append(res.Verdicts, verdictToWire(i, v))
+		}
+	case JobFuzz:
+		prof, err := tcp.ProfileByName(job.Profile)
+		if err != nil {
+			return nil, err
+		}
+		if len(u.Schedules) != u.Hi-u.Lo {
+			return nil, fmt.Errorf("fleet: unit [%d,%d) carries %d schedules", u.Lo, u.Hi, len(u.Schedules))
+		}
+		for i, s := range u.Schedules {
+			o := explore.EvaluateWith(s, prof, cfg)
+			res.Outcomes = append(res.Outcomes, outcomeToWire(u.Lo+i, o))
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown job kind %q", job.Kind)
+	}
+	return res, nil
+}
+
+// verdictToWire projects a verdict onto its wire form.
+func verdictToWire(index int, v campaign.Verdict) WireVerdict {
+	w := WireVerdict{
+		Index:     index,
+		OK:        v.OK,
+		Note:      v.Note,
+		Outcome:   int(v.Outcome),
+		ElapsedUS: v.Elapsed.Microseconds(),
+	}
+	if v.Err != nil {
+		w.Err = v.Err.Error()
+	}
+	if v.Isolation != nil {
+		w.Retries = v.Isolation.Retries
+	}
+	return w
+}
+
+// outcomeToWire projects an outcome onto its wire form.
+func outcomeToWire(index int, o *explore.Outcome) WireOutcome {
+	return WireOutcome{
+		Index:      index,
+		Schedule:   o.Schedule,
+		Cov:        covToWire(o.Cov),
+		Violations: o.Violations,
+	}
+}

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -192,4 +193,34 @@ func XKernel() Profile { return bsdBase("x-Kernel", false) }
 // Profiles returns the four vendor profiles in the paper's order.
 func Profiles() []Profile {
 	return []Profile{SunOS413(), AIX323(), NeXTMach(), Solaris23()}
+}
+
+// ProfileByName resolves a profile by name with forgiving matching: case
+// and non-alphanumerics are ignored, and an unambiguous prefix suffices
+// ("solaris", "sunos", "aix"). The empty name resolves to SunOS 4.1.3,
+// the runner default everywhere. The CLIs and the fleet wire protocol
+// both resolve through here, so a profile name travels between processes
+// without drift.
+func ProfileByName(name string) (Profile, error) {
+	canon := func(s string) string {
+		s = strings.ToLower(s)
+		return strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return -1
+		}, s)
+	}
+	want := canon(name)
+	all := append(Profiles(), XKernel())
+	for _, p := range all {
+		if pc := canon(p.Name); pc == want || strings.HasPrefix(pc, want) {
+			return p, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return Profile{}, fmt.Errorf("tcp: unknown profile %q (have %s)", name, strings.Join(names, ", "))
 }
