@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-race vet build test race bench bench-smoke bench-snapshot conformance fleet fuzz explore goldens harden snapshot
+.PHONY: check check-race vet build test race bench bench-script bench-smoke bench-snapshot conformance fleet fuzz explore goldens harden snapshot
 
 # check is the full PR gate: vet, build, race-enabled tests (the parallel
 # conformance runner and campaign pool run under -race via ./...), an
@@ -38,6 +38,15 @@ bench:
 	$(GO) test -bench 'FilterProcess|InterpEval' -benchmem -benchtime 2s -count 1 -run @ . | \
 		$(GO) run ./tools/benchjson -out BENCH_script.json \
 		-note "before = tree-walking reference engine (PFI_SCRIPT_ENGINE=tree), after = compiled register VM, same host and run; PR 1 tree-walker baseline for BenchmarkFilterProcess was 962 ns/op, 116 B/op, 6 allocs/op"
+
+# bench-script is the CI smoke over the script hot path: the filter and
+# interpreter benchmarks at a fixed small iteration count (no timing
+# claims — CI machines are noisy) plus the allocation budgets, so a change
+# that re-introduces per-message garbage on the AOT-optimized path fails
+# the job even when it is too small to move wall-clock numbers.
+bench-script:
+	$(GO) test -bench 'FilterProcess|InterpEval' -benchmem -benchtime 100x -run @ .
+	$(GO) test -run 'AllocBudget' -count 1 -v .
 
 # conformance replays every .pfi scenario against its golden trace, serial
 # and through the worker pool.

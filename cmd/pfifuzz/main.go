@@ -56,6 +56,7 @@ import (
 	"pfi/internal/explore"
 	"pfi/internal/fleet"
 	"pfi/internal/harden"
+	"pfi/internal/script"
 	"pfi/internal/tcp"
 )
 
@@ -147,6 +148,18 @@ func main() {
 	}
 	fmt.Print(rep)
 	fmt.Println(throughput(rep, elapsed))
+	fmt.Println(scriptStats())
+}
+
+// scriptStats renders the AOT script-engine summary: how much compilation
+// the run amortized (cache hits), how aggressively programs were lowered
+// (fused/folded/eliminated ops, specializations), and whether any guard
+// tripped back to the general VM (recompiles, deopts).
+func scriptStats() string {
+	ss := script.Stats()
+	return fmt.Sprintf("script: %d compiled (%d optimized, %d specialized, %d cache hits), %d fused / %d folded / %d dce ops, %d recompiles, %d deopts",
+		ss.Compiles, ss.Optimized, ss.Specialized, ss.CacheHits,
+		ss.FusedOps, ss.FoldedOps, ss.DCEOps, ss.Recompiles, ss.Deopts)
 }
 
 // runFleet shards candidate evaluation over a worker fleet: locally

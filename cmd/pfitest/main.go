@@ -47,6 +47,7 @@ func main() {
 		update  = flag.Bool("update", false, "re-bless golden traces instead of checking them")
 		diff    = flag.Bool("diff", false, "print golden diffs entry by entry")
 		verbose = flag.Bool("v", false, "print every verdict, not just failures")
+		dump    = flag.Bool("dump-prog", false, "disassemble each faultload filter program (before/after AOT optimization) as it is installed")
 		quar    = flag.String("quarantine", "", "directory for .pfi repros of deterministic contained failures")
 	)
 	hcfg := harden.Flags(flag.CommandLine)
@@ -62,7 +63,7 @@ func main() {
 	ok, err := run(os.Stdout, config{
 		dir: *dir, golden: *golden, profile: *profile, runRx: *runRx,
 		workers: *workers, update: *update, diff: *diff, verbose: *verbose,
-		harden: *hcfg,
+		dump: *dump, harden: *hcfg,
 	})
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, "pfitest:", perr)
@@ -101,6 +102,7 @@ type config struct {
 	dir, golden, profile, runRx string
 	workers                     int
 	update, diff, verbose       bool
+	dump                        bool
 	harden                      harden.Config
 }
 
@@ -124,6 +126,12 @@ func run(out io.Writer, cfg config) (bool, error) {
 	}
 
 	opts := conformance.Options{Workers: cfg.workers, Harden: cfg.harden}
+	if cfg.dump {
+		// Disassembly interleaves with scenario execution; keep it readable
+		// by running scenarios serially.
+		opts.Workers = 1
+		opts.ProgDump = out
+	}
 	if cfg.profile != "" {
 		prof, err := profileByName(cfg.profile)
 		if err != nil {

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pfi/internal/message"
+	"pfi/internal/stack"
+)
+
+// wireBytes renders a capture list for comparison.
+func wireBytes(ms []*message.Message) string {
+	var b strings.Builder
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.Write(m.Bytes())
+	}
+	return b.String()
+}
+
+// TestBatchParityStateful: a burst through ProcessBatch must be observably
+// identical to per-message sends — same forwarded sequence, same stats —
+// even when the filter script is stateful across messages.
+func TestBatchParityStateful(t *testing.T) {
+	script := `
+		if {![info exists n]} { set n 0 }
+		incr n
+		if {$n % 3 == 0} { xDrop cur_msg }
+		if {[msg_type cur_msg] eq "NACK"} { msg_set_byte cur_msg 1 77 }
+	`
+	mkBurst := func() []*message.Message {
+		var ms []*message.Message
+		for i := 0; i < 10; i++ {
+			typ := byte(demoDATA)
+			if i%4 == 1 {
+				typ = demoNACK
+			}
+			ms = append(ms, demoMsg(typ, byte(i), "payload"))
+		}
+		return ms
+	}
+
+	seq := newRig(t)
+	if err := seq.layer.SetSendScript(script); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mkBurst() {
+		seq.send(t, m)
+	}
+
+	bat := newRig(t)
+	if err := bat.layer.SetSendScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.stk.SendBatch(mkBurst()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := wireBytes(bat.toNet), wireBytes(seq.toNet); got != want {
+		t.Fatalf("batch wire %q != sequential wire %q", got, want)
+	}
+	if got, want := bat.layer.SendFilter().Stats(), seq.layer.SendFilter().Stats(); got != want {
+		t.Fatalf("batch stats %+v != sequential stats %+v", got, want)
+	}
+}
+
+// TestBatchParityAliased: the same message pointer appearing twice in one
+// burst. The first pass mutates its bytes, so the second occurrence must be
+// re-recognized at use time, exactly as sequential processing would.
+func TestBatchParityAliased(t *testing.T) {
+	// First pass turns the DATA into a NACK; NACKs are dropped. Sequential
+	// semantics: occurrence 1 forwarded (as NACK), occurrence 2 dropped.
+	script := `
+		if {[msg_type cur_msg] eq "DATA"} { msg_set_byte cur_msg 0 2 }
+		if {[msg_type cur_msg] eq "NACK"} { xDrop cur_msg }
+	`
+	shared := demoMsg(demoDATA, 5, "alias")
+
+	seq := newRig(t)
+	if err := seq.layer.SetSendScript(script); err != nil {
+		t.Fatal(err)
+	}
+	sharedSeq := demoMsg(demoDATA, 5, "alias")
+	seq.send(t, sharedSeq)
+	seq.send(t, sharedSeq)
+
+	bat := newRig(t)
+	if err := bat.layer.SetSendScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.stk.SendBatch([]*message.Message{shared, shared}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := wireBytes(bat.toNet), wireBytes(seq.toNet); got != want {
+		t.Fatalf("aliased batch wire %q != sequential %q", got, want)
+	}
+	if got, want := bat.layer.SendFilter().Stats(), seq.layer.SendFilter().Stats(); got != want {
+		t.Fatalf("aliased batch stats %+v != sequential %+v", got, want)
+	}
+}
+
+// TestBatchStopsAtFirstError: a failing message aborts the burst exactly
+// where sequential processing would, leaving later messages unprocessed.
+func TestBatchStopsAtFirstError(t *testing.T) {
+	r := newRig(t)
+	if err := r.layer.SetSendScript(`
+		if {[msg_field cur_msg seq] == 3} { error "boom at 3" }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	burst := []*message.Message{
+		demoMsg(demoDATA, 1, ""),
+		demoMsg(demoDATA, 2, ""),
+		demoMsg(demoDATA, 3, ""),
+		demoMsg(demoDATA, 4, ""),
+	}
+	err := r.stk.SendBatch(burst)
+	if err == nil || !strings.Contains(err.Error(), "boom at 3") {
+		t.Fatalf("err = %v, want script error from seq 3", err)
+	}
+	if len(r.toNet) != 2 {
+		t.Fatalf("forwarded %d before the error, want 2", len(r.toNet))
+	}
+	if s := r.layer.SendFilter().Stats(); s.Seen != 3 {
+		t.Fatalf("Seen = %d, want 3 (message 4 never processed)", s.Seen)
+	}
+}
+
+// TestBatchReceiveDirection: HandleUpBatch drives the receive filter.
+func TestBatchReceiveDirection(t *testing.T) {
+	r := newRig(t)
+	if err := r.layer.SetReceiveScript(`
+		if {[msg_type cur_msg] eq "ACK"} { xDrop cur_msg }
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.stk.DeliverBatch([]*message.Message{
+		demoMsg(demoACK, 1, ""),
+		demoMsg(demoDATA, 2, ""),
+		demoMsg(demoACK, 3, ""),
+		demoMsg(demoDATA, 4, ""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.toApp) != 2 {
+		t.Fatalf("delivered %d, want the 2 DATA", len(r.toApp))
+	}
+	if s := r.layer.ReceiveFilter().Stats(); s.Seen != 4 || s.Dropped != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestBatchNilFilterFastPath: a burst through an unscripted layer forwards
+// everything in order.
+func TestBatchNilFilterFastPath(t *testing.T) {
+	r := newRig(t)
+	burst := []*message.Message{
+		demoMsg(demoDATA, 1, ""),
+		demoMsg(demoACK, 2, ""),
+	}
+	if err := r.stk.SendBatch(burst); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.toNet) != 2 {
+		t.Fatalf("forwarded %d, want 2", len(r.toNet))
+	}
+}
+
+// TestStackBatchFallback: a top layer that does not implement BatchHandler
+// still gets the whole burst, one Send at a time.
+func TestStackBatchFallback(t *testing.T) {
+	env := newRig(t).stk.Env()
+	var seen []byte
+	plain := stack.NewFunc("plain", func(m *message.Message, next stack.Sink) error {
+		b, _ := m.ByteAt(1)
+		seen = append(seen, b)
+		return next(m)
+	}, nil)
+	stk := stack.New(env, plain)
+	stk.OnTransmit(func(m *message.Message) error { return nil })
+	if err := stk.SendBatch([]*message.Message{
+		demoMsg(demoDATA, 1, ""),
+		demoMsg(demoDATA, 2, ""),
+		demoMsg(demoDATA, 3, ""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("fallback order %v", seen)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"pfi/internal/script"
 )
 
 // RPCPath is the coordinator's RPC endpoint: one POSTed envelope frame
@@ -74,6 +76,24 @@ func (c *Coordinator) Handler() http.Handler {
 			"fleet_bad_frames":   s.BadFrames,
 			"fleet_workers_seen": s.WorkersSeen,
 			"fleet_workers_lost": s.WorkersLost,
+		}
+		// Script-engine telemetry: coordinator-local counters from the AOT
+		// optimizer and program caches (spawned/remote workers keep their
+		// own; these cover in-process scenario work).
+		ss := script.Stats()
+		for k, v := range map[string]uint64{
+			"script_compiles":     ss.Compiles,
+			"script_optimized":    ss.Optimized,
+			"script_recompiles":   ss.Recompiles,
+			"script_deopts":       ss.Deopts,
+			"script_specialized":  ss.Specialized,
+			"script_fused_ops":    ss.FusedOps,
+			"script_folded_ops":   ss.FoldedOps,
+			"script_dce_ops":      ss.DCEOps,
+			"script_cache_hits":   ss.CacheHits,
+			"script_cache_misses": ss.CacheMisses,
+		} {
+			m[k] = int(v)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -41,12 +41,14 @@ type Proxy struct {
 	oversized    atomic.Int64
 
 	mu         sync.Mutex // guards actions, closed, draining
-	actions    chan func()
+	actions    chan action
 	closed     bool
 	draining   bool
 	done       chan struct{}
 	loopExit   chan struct{}
 	clientAddr *net.UDPAddr // last client seen (single-client proxy)
+
+	batchBuf []*message.Message // runAction burst scratch (loop-owned)
 }
 
 // Config describes a proxy.
@@ -106,7 +108,7 @@ func New(cfg Config) (*Proxy, error) {
 		start:        time.Now(),
 		maxDatagram:  maxDatagram,
 		writeTimeout: writeTimeout,
-		actions:      make(chan func(), 256),
+		actions:      make(chan action, 256),
 		done:         make(chan struct{}),
 		loopExit:     make(chan struct{}),
 	}
@@ -159,10 +161,10 @@ func (p *Proxy) Do(fn func(l *core.Layer)) error {
 		p.mu.Unlock()
 		return errors.New("interpose: proxy closed")
 	}
-	p.actions <- func() {
+	p.actions <- action{fn: func() {
 		fn(p.layer)
 		close(doneCh)
-	}
+	}}
 	p.mu.Unlock()
 	select {
 	case <-doneCh:
@@ -229,6 +231,16 @@ func (p *Proxy) Close() error {
 	return err2
 }
 
+// action is one unit of event-loop work: either an arbitrary closure
+// (script changes, stats reads) or one inbound datagram tagged with its
+// direction, which the loop may batch with adjacent same-direction
+// datagrams into a single filter activation.
+type action struct {
+	fn   func()
+	data []byte
+	up   bool // true: client→upstream (receive filter); false: send filter
+}
+
 // now maps the wall clock onto the proxy's virtual clock.
 func (p *Proxy) now() simtime.Time {
 	return simtime.Time(time.Since(p.start))
@@ -268,12 +280,64 @@ func (p *Proxy) loop(s *stack.Stack) {
 		select {
 		case <-p.done:
 			return
-		case fn := <-p.actions:
-			fn()
+		case a := <-p.actions:
+			p.runAction(a)
 		case <-timer.C:
 		}
 	}
 }
+
+// runAction executes one dequeued action. A datagram action greedily
+// gathers already-queued datagrams of the same direction into one burst
+// and hands them to the PFI layer as a single batched activation
+// (struct-of-arrays recognition, one program resolution). Gathering stops
+// at the first closure or direction change, so cross-direction ordering
+// and Do() serialization are exactly as if each action ran alone; the
+// burst shares one virtual-time instant, as a back-to-back burst would.
+func (p *Proxy) runAction(a action) {
+	for {
+		if a.fn != nil {
+			a.fn()
+			return
+		}
+		batch := p.batchBuf[:0]
+		batch = append(batch, message.New(a.data))
+		up := a.up
+		var next action
+		pending := false
+	gather:
+		for len(batch) < maxBatch {
+			select {
+			case n := <-p.actions:
+				if n.fn == nil && n.up == up {
+					batch = append(batch, message.New(n.data))
+					continue
+				}
+				next, pending = n, true
+				break gather
+			default:
+				break gather
+			}
+		}
+		if up {
+			_ = p.layer.HandleUpBatch(batch)
+		} else {
+			_ = p.layer.HandleDownBatch(batch)
+		}
+		for i := range batch {
+			batch[i] = nil
+		}
+		p.batchBuf = batch[:0]
+		if !pending {
+			return
+		}
+		a = next
+	}
+}
+
+// maxBatch bounds one gathered burst so a flood cannot starve the
+// scheduler or Do() actions behind an ever-growing batch.
+const maxBatch = 64
 
 // readClient pumps datagrams from clients into the receive filter.
 // The buffer is one byte larger than the cap so oversized datagrams are
@@ -295,11 +359,8 @@ func (p *Proxy) readClient() {
 		p.clientAddr = addr
 		closed := p.closed
 		if !closed {
-			p.actions <- func() {
-				m := message.New(data)
-				// Toward the upstream: the receive filter.
-				_ = p.layer.HandleUp(m)
-			}
+			// Toward the upstream: the receive filter.
+			p.actions <- action{data: data, up: true}
 		}
 		p.mu.Unlock()
 		if closed {
@@ -325,11 +386,8 @@ func (p *Proxy) readUpstream() {
 		p.mu.Lock()
 		closed := p.closed
 		if !closed {
-			p.actions <- func() {
-				m := message.New(data)
-				// Toward the client: the send filter.
-				_ = p.layer.HandleDown(m)
-			}
+			// Toward the client: the send filter.
+			p.actions <- action{data: data, up: false}
 		}
 		p.mu.Unlock()
 		if closed {

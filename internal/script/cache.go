@@ -64,6 +64,7 @@ func (c *srcCache[T]) get(src string) (T, bool) {
 	k := keyOf(src)
 	if e, ok := c.byPtr[k]; ok {
 		e.lastUse = c.tick
+		statCacheHits.Add(1)
 		return e.val, true
 	}
 	if e, ok := c.bySrc[src]; ok {
@@ -72,8 +73,10 @@ func (c *srcCache[T]) get(src string) (T, bool) {
 			e.keys = append(e.keys, k)
 			c.byPtr[k] = e
 		}
+		statCacheHits.Add(1)
 		return e.val, true
 	}
+	statCacheMisses.Add(1)
 	var zero T
 	return zero, false
 }

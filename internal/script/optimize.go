@@ -1,0 +1,762 @@
+package script
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// This file is the AOT optimization pipeline that lowers a compiled
+// Program further before execution. Pass order:
+//
+//  1. specialization — constant-fold frozen globals (Interp.Freeze) into
+//     the instruction stream, when a purity analysis proves the program
+//     cannot write them;
+//  2. constant folding — evaluate operator trees and conditions whose
+//     operands became constants, turning dead conditionals into jumps;
+//  3. dead-code elimination — drop instructions unreachable from entry
+//     (branches pruned by folding, bodies behind constant conditions);
+//  4. superinstruction fusion — collapse the common instruction pairs and
+//     triples of the filter corpus (step+guard, load+compare+branch,
+//     step+guard+incr, command dispatch with static args) into single
+//     opcodes.
+//
+// Every pass is an exact program transformation: fused opcodes reproduce
+// the unfused sequence's stack states, step accounting, and errors at
+// every observable point, and specialization is gated on a conservative
+// purity proof plus a per-activation fact check with sticky deopt (see
+// Interp.selectProgram). The differential parity harness (FuzzCompiledParity,
+// TestEngineDiff*) runs with the optimizer on, so byte-identical behavior
+// versus the tree-walker is continuously enforced.
+
+// Optimizer and cache statistics, process-wide. Counters are atomic so
+// the fleet /metrics endpoint can read them while campaign workers run.
+var (
+	statCompiles    atomic.Uint64 // programs compiled from source
+	statOptimized   atomic.Uint64 // programs run through the optimizer
+	statRecompiles  atomic.Uint64 // re-optimizations after a definition/fact epoch change
+	statDeopts      atomic.Uint64 // sticky deopts after a frozen fact changed
+	statSpecialized atomic.Uint64 // programs that folded at least one frozen fact
+	statFusedOps    atomic.Uint64 // superinstructions emitted
+	statFoldedOps   atomic.Uint64 // instructions removed by constant folding
+	statDCEOps      atomic.Uint64 // instructions removed as unreachable
+	statCacheHits   atomic.Uint64 // srcCache hits (scripts/exprs/programs)
+	statCacheMisses atomic.Uint64 // srcCache misses
+)
+
+// OptStats is a snapshot of the optimizer and script-cache counters.
+type OptStats struct {
+	Compiles    uint64
+	Optimized   uint64
+	Recompiles  uint64
+	Deopts      uint64
+	Specialized uint64
+	FusedOps    uint64
+	FoldedOps   uint64
+	DCEOps      uint64
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Stats returns the process-wide optimizer and cache counters.
+func Stats() OptStats {
+	return OptStats{
+		Compiles:    statCompiles.Load(),
+		Optimized:   statOptimized.Load(),
+		Recompiles:  statRecompiles.Load(),
+		Deopts:      statDeopts.Load(),
+		Specialized: statSpecialized.Load(),
+		FusedOps:    statFusedOps.Load(),
+		FoldedOps:   statFoldedOps.Load(),
+		DCEOps:      statDCEOps.Load(),
+		CacheHits:   statCacheHits.Load(),
+		CacheMisses: statCacheMisses.Load(),
+	}
+}
+
+// DefaultOptimize reports whether new interpreters enable the AOT
+// optimizer: on, unless the PFI_SCRIPT_OPT environment variable turns it
+// off ("off", "0", or "no") as an escape hatch.
+func DefaultOptimize() bool {
+	switch os.Getenv("PFI_SCRIPT_OPT") {
+	case "off", "0", "no":
+		return false
+	}
+	return true
+}
+
+// optimizeProgram lowers base through the pass pipeline. It returns a new
+// Program sharing base's immutable side tables; factSlots/factVals receive
+// the frozen globals the result depends on (empty when no specialization
+// applied), which selectProgram re-checks on every activation.
+func optimizeProgram(in *Interp, base *Program, mode progMode) (p *Program, factSlots []int32, factVals []string) {
+	statOptimized.Add(1)
+	o := &optimizer{in: in, base: base}
+	o.p = &Program{
+		script:  base.script,
+		ins:     append([]instr(nil), base.ins...),
+		consts:  append([]string(nil), base.consts...),
+		vconsts: append([]value(nil), base.vconsts...),
+		plans:   base.plans,
+		invokes: base.invokes, // shared: inline caches stay coherent across base/opt
+		guards:  base.guards,
+		wraps:   base.wraps,
+		fes:     base.fes,
+		deltas:  base.deltas,
+		calls:   base.calls,
+		loops:   append([]loopScope(nil), base.loops...),
+	}
+	if mode == modeGlobal && len(in.facts) > 0 {
+		o.specialize()
+	}
+	for o.fold() {
+	}
+	o.dce()
+	o.fuse()
+	if len(o.factSlots) > 0 {
+		statSpecialized.Add(1)
+	}
+	return o.p, o.factSlots, o.factVals
+}
+
+type optimizer struct {
+	in        *Interp
+	base      *Program
+	p         *Program
+	factSlots []int32
+	factVals  []string
+}
+
+func (o *optimizer) constIdx(s string) int32 {
+	for i, c := range o.p.consts {
+		if c == s {
+			return int32(i)
+		}
+	}
+	o.p.consts = append(o.p.consts, s)
+	return int32(len(o.p.consts) - 1)
+}
+
+func (o *optimizer) vconstIdx(v value) int32 {
+	o.p.vconsts = append(o.p.vconsts, v)
+	return int32(len(o.p.vconsts) - 1)
+}
+
+// specialize folds frozen globals (Interp.Freeze) into the instruction
+// stream. Soundness requires that no frozen slot can change while the
+// optimized program runs:
+//
+//   - no dynamic dispatch (opInvokeDyn) and every opInvoke site resolves
+//     now to a host command marked var-pure (MarkPure) — so no invoked
+//     command can write interpreter variables, define procs, or evaluate
+//     scripts that do;
+//   - no compiled write (set/incr/foreach) targets a frozen slot or name;
+//   - no shadow guard in the program can deoptimize to the tree-walker
+//     (the deopt path re-runs arbitrary command ASTs).
+//
+// Writes between activations (snapshots, peer filters, scheduled bodies)
+// are caught by selectProgram's per-activation fact check, which deopts
+// sticky to the base program. Definition changes bump defEpoch and force
+// re-optimization before the next activation.
+func (o *optimizer) specialize() {
+	in := o.in
+	// Resolve fact names to slots; a fact without an interned slot cannot
+	// appear as a slot operand, but could still be read by name — treated
+	// as a blocking name below.
+	factOf := make(map[int32]string, len(in.facts))
+	for name, val := range in.facts {
+		if sl := in.gslotIndex(name, false); sl >= 0 {
+			factOf[int32(sl)] = val
+		}
+	}
+	if len(factOf) == 0 {
+		return
+	}
+	var guardMask uint32
+	for _, g := range o.base.guards {
+		guardMask |= g.mask
+	}
+	if in.shadowMask&guardMask != 0 {
+		return // a guard may deopt to the tree-walker: no purity proof
+	}
+	written := make(map[int32]bool)
+	blockedName := func(name string) bool {
+		_, isFact := in.facts[name]
+		return isFact
+	}
+	for k := range o.p.ins {
+		i := &o.p.ins[k]
+		switch i.op {
+		case opInvokeDyn:
+			return
+		case opInvoke:
+			site := &o.p.invokes[i.a]
+			if in.procs[site.name] != nil || !in.pureCmds[site.name] || in.commands[site.name] == nil {
+				return
+			}
+		case opSetSlot, opIncrSlot, opIncrSlotDyn:
+			written[i.a] = true
+		case opSetNamed, opIncrNamed, opIncrNamedDyn:
+			if blockedName(o.p.consts[i.a]) {
+				return
+			}
+		case opPushVarNamed, opGetNamed, opVNamed:
+			// Reads by name bypass the slot table; if they alias a fact,
+			// the substitution below would miss them. Block to stay exact.
+			if blockedName(o.p.consts[i.a]) {
+				return
+			}
+		case opForeachInit, opForeachInitPre, opForeachStep:
+			inf := &o.p.fes[i.a]
+			for _, sl := range inf.slots {
+				written[sl] = true
+			}
+			for _, nm := range inf.names {
+				if blockedName(nm) {
+					return
+				}
+			}
+		}
+	}
+	for k := range o.p.ins {
+		i := &o.p.ins[k]
+		switch i.op {
+		case opVSlot:
+			if val, ok := factOf[i.a]; ok && !written[i.a] {
+				o.useFact(i.a, val)
+				o.p.ins[k] = instr{op: opVConst, a: o.vconstIdx(coerce(val)), line: i.line}
+			}
+		case opPushSlot:
+			if val, ok := factOf[i.a]; ok && !written[i.a] {
+				o.useFact(i.a, val)
+				o.p.ins[k] = instr{op: opPushConst, a: o.constIdx(val), line: i.line}
+			}
+		case opGetSlot:
+			if val, ok := factOf[i.a]; ok && !written[i.a] {
+				o.useFact(i.a, val)
+				o.p.ins[k] = instr{op: opAccConst, a: o.constIdx(val), line: i.line}
+			}
+		}
+	}
+}
+
+func (o *optimizer) useFact(slot int32, val string) {
+	for _, s := range o.factSlots {
+		if s == slot {
+			return
+		}
+	}
+	o.factSlots = append(o.factSlots, slot)
+	o.factVals = append(o.factVals, val)
+}
+
+// leaders returns the set of instruction indices that are jump targets or
+// loop boundaries — positions no fusion group may swallow except as its
+// head, and the anchors the remapper must preserve.
+func (o *optimizer) leaders() map[int32]bool {
+	ld := make(map[int32]bool)
+	for k := range o.p.ins {
+		i := &o.p.ins[k]
+		switch i.op {
+		case opJump, opBranchFalse, opVAnd, opVOr, opVCondJump, opNotBr, opClearJump:
+			ld[i.a] = true
+		case opGuard, opForeachStep, opStepGuard, opClearStepGuard:
+			ld[i.b] = true
+		case opCmpConstBr, opSlotCmpBr, opStepIncrSlot, opInvokeCmpBr:
+			ld[o.p.fused[i.a].target] = true
+		}
+	}
+	for k := range o.p.loops {
+		lp := &o.p.loops[k]
+		ld[lp.start] = true
+		ld[lp.end] = true
+		ld[lp.breakPC] = true
+		ld[lp.contPC] = true
+	}
+	return ld
+}
+
+// rewrite is one structural pass: groups of old instructions are replaced
+// by single new instructions (or dropped), then every target is remapped.
+type rewrite struct {
+	o      *optimizer
+	ins    []instr
+	oldLen int
+	starts []int32 // per new instruction: first old index of its group
+}
+
+func (o *optimizer) newRewrite() *rewrite {
+	return &rewrite{o: o, oldLen: len(o.p.ins)}
+}
+
+func (r *rewrite) emit(i instr, oldStart int32) {
+	r.ins = append(r.ins, i)
+	r.starts = append(r.starts, oldStart)
+}
+
+// apply replaces the program's instruction stream and remaps every jump
+// target, loop scope, and fused-op target from old indices to new ones. A
+// dropped old index maps to the next surviving instruction.
+func (r *rewrite) apply() {
+	p := r.o.p
+	oldToNew := make([]int32, r.oldLen+1)
+	oldToNew[r.oldLen] = int32(len(r.ins))
+	ni := len(r.starts) - 1
+	for oi := r.oldLen - 1; oi >= 0; oi-- {
+		for ni >= 0 && r.starts[ni] > int32(oi) {
+			ni--
+		}
+		if ni >= 0 && r.starts[ni] == int32(oi) {
+			oldToNew[oi] = int32(ni)
+		} else {
+			oldToNew[oi] = oldToNew[oi+1]
+		}
+	}
+	remap := func(t int32) int32 { return oldToNew[t] }
+	p.ins = r.ins
+	for k := range p.ins {
+		i := &p.ins[k]
+		switch i.op {
+		case opJump, opBranchFalse, opVAnd, opVOr, opVCondJump, opNotBr, opClearJump:
+			i.a = remap(i.a)
+		case opGuard, opForeachStep, opStepGuard, opClearStepGuard:
+			i.b = remap(i.b)
+		case opCmpConstBr, opSlotCmpBr, opStepIncrSlot, opInvokeCmpBr:
+			p.fused[i.a].target = remap(p.fused[i.a].target)
+		}
+	}
+	loops := p.loops[:0]
+	for k := range p.loops {
+		lp := p.loops[k]
+		lp.start = remap(lp.start)
+		lp.end = remap(lp.end)
+		lp.breakPC = remap(lp.breakPC)
+		lp.contPC = remap(lp.contPC)
+		if lp.start < lp.end {
+			loops = append(loops, lp)
+		}
+	}
+	p.loops = loops
+}
+
+// fold runs one peephole constant-folding pass, reporting whether it
+// changed anything. Folds only fire when the folded evaluation succeeds;
+// anything that would error at runtime is left for the VM so the error
+// (and its wrapping) is produced by the same code path as ever.
+func (o *optimizer) fold() bool {
+	ins := o.p.ins
+	ld := o.leaders()
+	r := o.newRewrite()
+	changed := false
+	at := func(k int) *instr { return &ins[k] }
+	for k := 0; k < len(ins); {
+		i := at(k)
+		// All two/three-instruction windows below require the interior
+		// instructions to not be jump targets.
+		free := func(n int) bool {
+			if k+n > len(ins) {
+				return false
+			}
+			for j := k + 1; j < k+n; j++ {
+				if ld[int32(j)] {
+					return false
+				}
+			}
+			return true
+		}
+		if i.op == opVConst && free(3) &&
+			at(k+1).op == opVConst && at(k+2).op == opVBinop {
+			if v, err := evalBinop(at(k+2).a, o.p.vconsts[i.a], o.p.vconsts[at(k+1).a]); err == nil {
+				r.emit(instr{op: opVConst, a: o.vconstIdx(v), line: i.line}, int32(k))
+				k += 3
+				changed = true
+				statFoldedOps.Add(2)
+				continue
+			}
+		}
+		if i.op == opVConst && free(2) && at(k+1).op == opVUnary {
+			if v, err := evalUnary(byte(at(k+1).a), o.p.vconsts[i.a]); err == nil {
+				r.emit(instr{op: opVConst, a: o.vconstIdx(v), line: i.line}, int32(k))
+				k += 2
+				changed = true
+				statFoldedOps.Add(1)
+				continue
+			}
+		}
+		if i.op == opVConst && free(2) && at(k+1).op == opVTruth {
+			if b, err := o.p.vconsts[i.a].truth(); err == nil {
+				r.emit(instr{op: opVConst, a: o.vconstIdx(boolv(b)), line: i.line}, int32(k))
+				k += 2
+				changed = true
+				statFoldedOps.Add(1)
+				continue
+			}
+		}
+		if i.op == opVBinop && i.a >= vbEqStr && free(2) && at(k+1).op == opVTruth {
+			// Comparison results are already canonical booleans; the
+			// following truth-normalization is an identity.
+			r.emit(*i, int32(k))
+			r.starts[len(r.starts)-1] = int32(k)
+			k += 2
+			changed = true
+			statFoldedOps.Add(1)
+			continue
+		}
+		if i.op == opVConst && free(2) &&
+			(at(k+1).op == opBranchFalse || at(k+1).op == opVCondJump) {
+			if b, err := o.p.vconsts[i.a].truth(); err == nil {
+				if b {
+					// Fall through: both instructions vanish.
+					r.emit(instr{op: opNop, line: i.line}, int32(k))
+				} else {
+					r.emit(instr{op: opJump, a: at(k + 1).a, line: i.line}, int32(k))
+				}
+				k += 2
+				changed = true
+				statFoldedOps.Add(1)
+				continue
+			}
+		}
+		if i.op == opVConst && free(2) && (at(k+1).op == opVAnd || at(k+1).op == opVOr) {
+			if b, err := o.p.vconsts[i.a].truth(); err == nil {
+				isAnd := at(k+1).op == opVAnd
+				if (isAnd && b) || (!isAnd && !b) {
+					// Short-circuit not taken: evaluation continues with
+					// the right operand; the pair vanishes.
+					r.emit(instr{op: opNop, line: i.line}, int32(k))
+					k += 2
+					changed = true
+					statFoldedOps.Add(1)
+					continue
+				}
+				// Short-circuit taken: push the canonical boolean and jump.
+				r.emit(instr{op: opVConst, a: o.vconstIdx(boolv(b)), line: i.line}, int32(k))
+				r.emit(instr{op: opJump, a: at(k + 1).a, line: i.line}, int32(k+1))
+				k += 2
+				changed = true
+				continue
+			}
+		}
+		if i.op == opNop {
+			// Nops from earlier folds: drop once nothing targets them.
+			k++
+			changed = true
+			continue
+		}
+		r.emit(*i, int32(k))
+		k++
+	}
+	if changed {
+		r.apply()
+	}
+	return changed
+}
+
+// dce removes instructions unreachable from entry. Reachability includes
+// guard deopt targets and — for any loop whose body is reachable — the
+// loop's break/continue landing pads, since a dynamically raised flow
+// error can jump there without a static predecessor.
+func (o *optimizer) dce() {
+	ins := o.p.ins
+	n := len(ins)
+	if n == 0 {
+		return
+	}
+	reach := make([]bool, n+1)
+	var stack []int32
+	push := func(t int32) {
+		if int(t) <= n && !reach[t] {
+			reach[t] = true
+			stack = append(stack, t)
+		}
+	}
+	push(0)
+	for {
+		for len(stack) > 0 {
+			pc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if int(pc) >= n {
+				continue
+			}
+			i := &ins[pc]
+			switch i.op {
+			case opJump, opClearJump:
+				push(i.a)
+			case opBranchFalse, opVAnd, opVOr, opVCondJump, opNotBr:
+				push(i.a)
+				push(pc + 1)
+			case opGuard, opForeachStep, opStepGuard, opClearStepGuard:
+				push(i.b)
+				push(pc + 1)
+			case opCmpConstBr, opSlotCmpBr, opStepIncrSlot, opInvokeCmpBr:
+				push(o.p.fused[i.a].target)
+				push(pc + 1)
+			default:
+				push(pc + 1)
+			}
+		}
+		// Loop landing pads are reachable whenever any body pc is: a
+		// dynamically raised break/continue jumps there with no static
+		// predecessor.
+		added := false
+		for k := range o.p.loops {
+			lp := &o.p.loops[k]
+			bodyLive := false
+			for pc := lp.start; pc < lp.end; pc++ {
+				if reach[pc] {
+					bodyLive = true
+					break
+				}
+			}
+			if bodyLive && (!reach[lp.breakPC] || !reach[lp.contPC]) {
+				push(lp.breakPC)
+				push(lp.contPC)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	removed := 0
+	for k := 0; k < n; k++ {
+		if !reach[k] {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return
+	}
+	statDCEOps.Add(uint64(removed))
+	r := o.newRewrite()
+	for k := 0; k < n; k++ {
+		if reach[k] {
+			r.emit(ins[k], int32(k))
+		}
+	}
+	r.apply()
+}
+
+// fuse collapses common instruction sequences into superinstructions. A
+// group's interior instructions must not be jump targets; the head may be.
+// Wrap indices must agree across a group so fused errors wrap identically.
+func (o *optimizer) fuse() {
+	ins := o.p.ins
+	ld := o.leaders()
+	r := o.newRewrite()
+	free := func(k, n int) bool {
+		if k+n > len(ins) {
+			return false
+		}
+		for j := k + 1; j < k+n; j++ {
+			if ld[int32(j)] {
+				return false
+			}
+		}
+		return true
+	}
+	fusedIdx := func(f fusedOp) int32 {
+		o.p.fused = append(o.p.fused, f)
+		return int32(len(o.p.fused) - 1)
+	}
+	// tryInvoke matches [opStep, pushes..., opInvoke] at k (the generic
+	// command shape) and returns the fused op and group length.
+	tryInvoke := func(k int) (instr, int, bool) {
+		if ins[k].op != opStep {
+			return instr{}, 0, false
+		}
+		j := k + 1
+		var args []argSrc
+		for j < len(ins) && len(args) <= 4 {
+			if ld[int32(j)] {
+				return instr{}, 0, false
+			}
+			switch ins[j].op {
+			case opPushConst:
+				args = append(args, argSrc{kind: argConst, a: ins[j].a, line: ins[j].line})
+			case opPushSlot:
+				args = append(args, argSrc{kind: argSlot, a: ins[j].a, b: ins[j].b, line: ins[j].line})
+			case opPushVarNamed:
+				args = append(args, argSrc{kind: argNamed, a: ins[j].a, line: ins[j].line})
+			case opInvoke:
+				site := &o.p.invokes[ins[j].a]
+				if int(site.argc) != len(args) || ins[j].c != ins[k].c {
+					return instr{}, 0, false
+				}
+				f := fusedOp{site: ins[j].a, args: args, guard: -1}
+				if site.name == "info" && len(args) == 2 &&
+					args[0].kind == argConst && args[1].kind == argConst &&
+					o.p.consts[args[0].a] == "exists" {
+					// `info exists <literal>`: pre-intern the global slot
+					// so the VM answers existence from the slot table while
+					// the site still binds the builtin (site.isInfo).
+					f.flags |= fuseInfoExists
+					f.nameC = args[1].a
+					f.slot = -1
+					if sl := o.in.gslotIndex(o.p.consts[args[1].a], true); sl >= 0 {
+						f.slot = int32(sl)
+					}
+				}
+				return instr{op: opStepInvoke, a: fusedIdx(f), c: ins[j].c, line: ins[j].line}, j - k + 1, true
+			default:
+				return instr{}, 0, false
+			}
+			j++
+		}
+		return instr{}, 0, false
+	}
+	for k := 0; k < len(ins); {
+		i := &ins[k]
+		// [opClearAcc][opStep ... opInvoke][opVFromAcc]: an expr [command]
+		// operand with a single generic command body. When the coerced
+		// result feeds straight into an eq/ne against a constant and its
+		// branch, the whole comparison fuses too (opInvokeCmpBr) — the
+		// `[msg_type m] eq "TYPE"` idiom that dominates filter scripts.
+		if i.op == opClearAcc && free(k, 2) {
+			if fi, n, ok := tryInvoke(k + 1); ok && k+1+n < len(ins) &&
+				!ld[int32(k+1+n)] && ins[k+1+n].op == opVFromAcc && free(k, n+2) {
+				j := k + 1 + n // the opVFromAcc
+				if free(k, n+5) && ins[j+1].op == opVConst && ins[j+2].op == opVBinop &&
+					(ins[j+2].a == vbEqStr || ins[j+2].a == vbNeStr) &&
+					ins[j+3].op == opBranchFalse {
+					f := &o.p.fused[fi.a]
+					f.flags |= fuseClearAcc
+					f.vconst = ins[j+1].a
+					f.binop = ins[j+2].a
+					f.target = ins[j+3].a
+					f.cstr = o.p.vconsts[f.vconst].String()
+					if coerce(f.cstr).String() == f.cstr {
+						f.flags |= fuseRawEq
+					}
+					r.emit(instr{op: opInvokeCmpBr, a: fi.a, c: fi.c, line: fi.line}, int32(k))
+					k += n + 5
+					statFusedOps.Add(1)
+					continue
+				}
+				o.p.fused[fi.a].flags |= fuseClearAcc | fusePushCoerce
+				r.emit(fi, int32(k))
+				k += n + 2
+				statFusedOps.Add(1)
+				continue
+			}
+			// [opClearAcc][opStep][opGuard][opIncrSlot]: a guarded incr
+			// statement sitting at a branch target.
+			if free(k, 4) && ins[k+1].op == opStep && ins[k+2].op == opGuard &&
+				ins[k+3].op == opIncrSlot && ins[k+2].b == int32(k+4) {
+				f := fusedOp{
+					flags:  fuseClearAcc,
+					slot:   ins[k+3].a,
+					delta:  o.p.deltas[ins[k+3].b],
+					guard:  ins[k+2].a,
+					target: ins[k+2].b,
+				}
+				r.emit(instr{op: opStepIncrSlot, a: fusedIdx(f), c: ins[k+3].c, line: ins[k+1].line}, int32(k))
+				k += 4
+				statFusedOps.Add(1)
+				continue
+			}
+			// [opClearAcc][opStep][opGuard]: the landing pad opening every
+			// inlined special form that is itself a branch target.
+			if free(k, 3) && ins[k+1].op == opStep && ins[k+2].op == opGuard {
+				r.emit(instr{op: opClearStepGuard, a: ins[k+2].a, b: ins[k+2].b, line: ins[k+1].line}, int32(k))
+				k += 3
+				statFusedOps.Add(1)
+				continue
+			}
+			// [opClearAcc][opJump]: the taken-branch epilogue pad.
+			if ins[k+1].op == opJump {
+				r.emit(instr{op: opClearJump, a: ins[k+1].a, line: i.line}, int32(k))
+				k += 2
+				statFusedOps.Add(1)
+				continue
+			}
+		}
+		if i.op == opStep {
+			// [opStep][opGuard][opIncrSlot] with the guard deopting past
+			// the incr: the classic `incr counter` statement.
+			if free(k, 3) && ins[k+1].op == opGuard && ins[k+2].op == opIncrSlot &&
+				ins[k+1].b == int32(k+3) {
+				f := fusedOp{
+					slot:   ins[k+2].a,
+					delta:  o.p.deltas[ins[k+2].b],
+					guard:  ins[k+1].a,
+					target: ins[k+1].b,
+				}
+				r.emit(instr{op: opStepIncrSlot, a: fusedIdx(f), c: ins[k+2].c, line: i.line}, int32(k))
+				k += 3
+				statFusedOps.Add(1)
+				continue
+			}
+			if fi, n, ok := tryInvoke(k); ok {
+				r.emit(fi, int32(k))
+				k += n
+				statFusedOps.Add(1)
+				continue
+			}
+			if free(k, 2) && ins[k+1].op == opGuard {
+				r.emit(instr{op: opStepGuard, a: ins[k+1].a, b: ins[k+1].b, line: i.line}, int32(k))
+				k += 2
+				statFusedOps.Add(1)
+				continue
+			}
+		}
+		// opVConst carries no wrap index (it cannot error), so only the
+		// instructions that can fail need matching wraps.
+		if i.op == opVSlot && free(k, 3) &&
+			ins[k+1].op == opVConst && ins[k+2].op == opVBinop &&
+			ins[k+2].c == i.c {
+			f := fusedOp{slot: i.a, nameC: i.b, vconst: ins[k+1].a, binop: ins[k+2].a, guard: -1}
+			if free(k, 4) && ins[k+3].op == opBranchFalse && ins[k+3].c == i.c {
+				f.target = ins[k+3].a
+				r.emit(instr{op: opSlotCmpBr, a: fusedIdx(f), c: i.c, line: i.line}, int32(k))
+				k += 4
+				statFusedOps.Add(1)
+				continue
+			}
+			r.emit(instr{op: opSlotBinop, a: fusedIdx(f), c: i.c, line: i.line}, int32(k))
+			k += 3
+			statFusedOps.Add(1)
+			continue
+		}
+		if i.op == opVConst && free(k, 2) && ins[k+1].op == opVBinop {
+			if free(k, 3) && ins[k+2].op == opBranchFalse && ins[k+2].c == ins[k+1].c {
+				f := fusedOp{vconst: i.a, binop: ins[k+1].a, target: ins[k+2].a, guard: -1}
+				r.emit(instr{op: opCmpConstBr, a: fusedIdx(f), c: ins[k+1].c, line: i.line}, int32(k))
+				k += 3
+				statFusedOps.Add(1)
+				continue
+			}
+			r.emit(instr{op: opConstBinop, a: i.a, b: ins[k+1].a, c: ins[k+1].c, line: i.line}, int32(k))
+			k += 2
+			statFusedOps.Add(1)
+			continue
+		}
+		if i.op == opVUnary && byte(i.a) == '!' && free(k, 2) &&
+			ins[k+1].op == opBranchFalse {
+			r.emit(instr{op: opNotBr, a: ins[k+1].a, c: i.c, line: i.line}, int32(k))
+			k += 2
+			statFusedOps.Add(1)
+			continue
+		}
+		if i.op == opEnterNest && free(k, 2) && ins[k+1].op == opClearAcc {
+			r.emit(instr{op: opEnterClear, line: i.line}, int32(k))
+			k += 2
+			statFusedOps.Add(1)
+			continue
+		}
+		if i.op == opLeaveNest && free(k, 2) && ins[k+1].op == opPushAcc {
+			r.emit(instr{op: opLeavePush, line: i.line}, int32(k))
+			k += 2
+			statFusedOps.Add(1)
+			continue
+		}
+		if i.op == opPushConst && free(k, 2) && ins[k+1].op == opSetSlot {
+			r.emit(instr{op: opSetSlotConst, a: ins[k+1].a, b: i.a, line: i.line}, int32(k))
+			k += 2
+			statFusedOps.Add(1)
+			continue
+		}
+		r.emit(*i, int32(k))
+		k++
+	}
+	r.apply()
+}

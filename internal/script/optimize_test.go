@@ -1,0 +1,281 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// runVM evaluates src on a fresh VM-engine interpreter with the optimizer
+// forced on or off, returning result, error text, and output.
+func runVM(t *testing.T, optimize bool, src string, steps int) (string, string, string) {
+	t.Helper()
+	in := New()
+	in.SetEngine(EngineVM)
+	in.SetOptimize(optimize)
+	if steps > 0 {
+		in.SetStepLimit(steps)
+	}
+	var out strings.Builder
+	in.SetOutput(&out)
+	res, err := in.Eval(src)
+	errs := ""
+	if err != nil {
+		errs = err.Error()
+	}
+	return res, errs, out.String()
+}
+
+// diffEval3 asserts the tree-walker, the unoptimized VM, and the optimized
+// VM agree byte-for-byte on result, error text, and output.
+func diffEval3(t *testing.T, src string, steps int) {
+	t.Helper()
+	tr, te, to := runEngine(t, EngineTree, src, steps)
+	br, be, bo := runVM(t, false, src, steps)
+	or, oe, oo := runVM(t, true, src, steps)
+	if tr != br || te != be || to != bo {
+		t.Errorf("vm-noopt diverges from tree on %q:\n tree: res=%q err=%q out=%q\n   vm: res=%q err=%q out=%q",
+			src, tr, te, to, br, be, bo)
+	}
+	if tr != or || te != oe || to != oo {
+		t.Errorf("vm-opt diverges from tree on %q:\n tree: res=%q err=%q out=%q\n  opt: res=%q err=%q out=%q",
+			src, tr, te, to, or, oe, oo)
+	}
+}
+
+// TestOptimizeDiffFusionBoundaries exercises exactly the shapes the fuser
+// rewrites, with the deopt/flow/limit edges landing mid-superinstruction.
+func TestOptimizeDiffFusionBoundaries(t *testing.T) {
+	cases := []string{
+		// Shadow-guard deopt after fusion: redefining a special form must
+		// reroute fused opStepGuard/opClearStepGuard/opStepIncrSlot sites
+		// through the tree path.
+		`proc if {args} { return shadowed }; if {1} { puts never }`,
+		`set x 1; proc incr {v} { return fake }; set r [incr x]; list $x $r`,
+		`set i 0
+foreach k {1 2 3} {
+  if {$k == 2} { proc if {args} { return late } }
+  if {1} { incr i }
+}
+list $i`,
+		`proc set {args} { return ss }; if {1} { set y 0 }`,
+		// break/continue inside fused loop bodies: the flow-restore depths
+		// recorded by the compiler must still hold on the fused stream.
+		`set i 0; while {$i < 5} { incr i; if {$i == 3} { break } }; set i`,
+		`set n 0; foreach x {1 2 3 4} { if {$x == 2} { continue }; incr n }; set n`,
+		`set out {}; foreach i {1 2} { set j 0; while {1} { incr j; if {$j == 2} { break } }; lappend out $i:$j }; set out`,
+		`set i 0; while {$i < 5} { incr i; eval break }; set i`,
+		`set i 0; set n 0; while {$i < 5} { incr i; eval continue; incr n }; list $i $n`,
+		// opInvokeCmpBr: command-substitution eq/ne against constants,
+		// including numeric-normalization edges (007 eq 7 is TRUE in expr).
+		`proc t {} { return DATA }; if {[t] eq "DATA"} { puts hit } else { puts miss }`,
+		`proc t {} { return DATA }; if {[t] ne "DATA"} { puts hit } else { puts miss }`,
+		`proc t {} { return 007 }; if {[t] eq "7"} { puts hit } else { puts miss }`,
+		`proc t {} { return 7 }; if {[t] eq "007"} { puts hit } else { puts miss }`,
+		`proc t {} { return 7.0 }; if {[t] eq "7"} { puts hit } else { puts miss }`,
+		`proc t {} { return " 7 " }; if {[t] eq "7"} { puts hit } else { puts miss }`,
+		`proc t {} { return "" }; if {[t] eq ""} { puts hit } else { puts miss }`,
+		// Fused slot compare against consts, truthiness edges.
+		`set dropped 0; if {$dropped < 3} { incr dropped }; set dropped`,
+		`set v abc; catch {if {$v} { puts x }} m; set m`,
+		`set v 0x10; if {$v == 16} { puts hex }`,
+		// Errors raised from inside fused groups: unset slot reads, invoke
+		// errors, wrong arity — wrapping must match unfused.
+		`if {$never_set < 3} { puts x }`,
+		`catch {if {$never_set < 3} { puts x }} m; set m`,
+		`proc boom {} { error kaboom }; catch {if {[boom] eq "x"} { puts y }} m; set m`,
+		`catch {string} m; set m`,
+		// Landing pads: else/elseif chains produce clear+jump and
+		// clear+step+guard shapes at branch targets.
+		`set a 1; if {$a > 3} { puts big } elseif {$a > 0} { puts mid } else { puts small }`,
+		`set a -1; if {$a > 3} { puts big } elseif {$a > 0} { puts mid } else { puts small }`,
+		// The info-exists fast path: literal `info exists` answered from
+		// the slot table, with the frame, unset, shadowing, and
+		// interned-but-never-set edges.
+		`set a 1; list [info exists a] [info exists nope]`,
+		`if {![info exists dropped]} { set dropped 0 }; incr dropped; set dropped`,
+		`set a 1; unset a; info exists a`,
+		`proc p {} { set x 1; info exists x }; list [p] [info exists x]`,
+		`proc p {} { global g; info exists g }; set g 5; list [p] [info exists g]`,
+		`proc p {} { info exists q }; set q 1; p`,
+		`set a 1; set r [info exists a]; proc info {args} { return shadow }; list $r [info exists a]`,
+	}
+	for _, src := range cases {
+		diffEval3(t, src, 0)
+	}
+}
+
+// TestOptimizeDiffStepLimits lands the step limit on every offset within
+// and around fused groups: step accounting inside a superinstruction must
+// match the unfused stream exactly, budget by budget.
+func TestOptimizeDiffStepLimits(t *testing.T) {
+	cases := []string{
+		`while {1} { set x 1 }`,
+		`set i 0; while {$i < 100000} { incr i }`,
+		`proc t {} { return DATA }; set n 0; while {1} { if {[t] eq "DATA"} { incr n } }`,
+		`set dropped 0; while {1} { if {$dropped < 1000000} { incr dropped } }`,
+		`proc f {} { f }; f`,
+	}
+	for _, src := range cases {
+		for steps := 1; steps <= 30; steps++ {
+			diffEval3(t, src, steps)
+		}
+		for _, steps := range []int{50, 100, 1000} {
+			diffEval3(t, src, steps)
+		}
+	}
+}
+
+// TestOptimizeSpecialize checks fact-based specialization end to end:
+// frozen facts fold into the program, a mutated fact forces the sticky
+// deopt to the unspecialized base, and results stay correct throughout.
+func TestOptimizeSpecialize(t *testing.T) {
+	in := New()
+	in.SetOptimize(true)
+	in.Freeze("proto", "tcp")
+	s := MustParse(`if {$proto eq "tcp"} { set r tcp-path } else { set r other }; set r`)
+	res, err := in.Run(s)
+	if err != nil || res != "tcp-path" {
+		t.Fatalf("specialized run: %q, %v", res, err)
+	}
+	// Mutating a frozen fact is allowed but must deopt, not misexecute.
+	in.SetGlobal("proto", "udp")
+	res, err = in.Run(s)
+	if err != nil || res != "other" {
+		t.Fatalf("post-mutation run: %q, %v (sticky deopt must fall back)", res, err)
+	}
+	// And the deopt is sticky: restoring the old value stays on base.
+	in.SetGlobal("proto", "tcp")
+	res, err = in.Run(s)
+	if err != nil || res != "tcp-path" {
+		t.Fatalf("post-restore run: %q, %v", res, err)
+	}
+}
+
+// TestOptimizeSpecializeRefusals: writes to fact slots and dynamic aliases
+// must block specialization entirely rather than fold unsoundly.
+func TestOptimizeSpecializeRefusals(t *testing.T) {
+	cases := []string{
+		`set proto udp; if {$proto eq "tcp"} { set r 1 } else { set r 2 }; set r`,
+		`incr count; set count`,
+		`proc proto_probe {} { global proto; set proto udp; return x }
+proto_probe
+if {$proto eq "tcp"} { set r 1 } else { set r 2 }
+set r`,
+	}
+	for _, src := range cases {
+		in := New()
+		in.SetOptimize(true)
+		in.Freeze("proto", "tcp")
+		in.Freeze("count", "5")
+		tree := New()
+		tree.SetEngine(EngineTree)
+		tree.SetGlobal("proto", "tcp")
+		tree.SetGlobal("count", "5")
+		got, gerr := in.Eval(src)
+		want, werr := tree.Eval(src)
+		ge, we := "", ""
+		if gerr != nil {
+			ge = gerr.Error()
+		}
+		if werr != nil {
+			we = werr.Error()
+		}
+		if got != want || ge != we {
+			t.Errorf("specialization divergence on %q:\n opt: %q err=%q\ntree: %q err=%q", src, got, ge, want, we)
+		}
+	}
+}
+
+// TestOptimizeRecompileOnDefine: defining a proc re-optimizes (defEpoch),
+// so fused invoke sites cannot keep calling a replaced command.
+func TestOptimizeRecompileOnDefine(t *testing.T) {
+	in := New()
+	in.SetOptimize(true)
+	in.Register("probe", func(*Interp, []string) (string, error) { return "host", nil })
+	s := MustParse(`if {[probe] eq "host"} { set r builtin } else { set r replaced }; set r`)
+	if res, err := in.Run(s); err != nil || res != "builtin" {
+		t.Fatalf("first run: %q, %v", res, err)
+	}
+	if _, err := in.Eval(`proc probe {} { return nope }`); err != nil {
+		t.Fatalf("proc define: %v", err)
+	}
+	if res, err := in.Run(s); err != nil || res != "replaced" {
+		t.Fatalf("after proc shadow: %q, %v", res, err)
+	}
+}
+
+// TestPreparedRun: the Prepared handle must match Interp.Run byte for byte,
+// including across engine fallback and optimizer toggling.
+func TestPreparedRun(t *testing.T) {
+	src := `if {![info exists n]} { set n 0 }; incr n; set n`
+	for _, opt := range []bool{true, false} {
+		in := New()
+		in.SetOptimize(opt)
+		pr := in.Prepare(MustParse(src))
+		for want := 1; want <= 3; want++ {
+			res, err := pr.Run()
+			if err != nil || res != itoaFast(int64(want)) {
+				t.Fatalf("opt=%v run %d: %q, %v", opt, want, res, err)
+			}
+		}
+	}
+	in := New()
+	in.SetEngine(EngineTree)
+	pr := in.Prepare(MustParse(src))
+	if res, err := pr.Run(); err != nil || res != "1" {
+		t.Fatalf("tree-engine Prepared run: %q, %v", res, err)
+	}
+}
+
+// TestOptimizeInfoExistsFastPath: a literal `info exists` fuses with a
+// slot-table fast path (visible in the listing), and shadowing info with a
+// proc afterwards must stand the fast path down at the site.
+func TestOptimizeInfoExistsFastPath(t *testing.T) {
+	in := New()
+	in.SetOptimize(true)
+	pr := in.Prepare(MustParse(`if {![info exists dropped]} { set dropped 0 }; incr dropped; set dropped`))
+	if res, err := pr.Run(); err != nil || res != "1" {
+		t.Fatalf("first run: %q, %v", res, err)
+	}
+	if lst := Disassemble(pr.e.opt); !strings.Contains(lst, "[info-exists slot") {
+		t.Fatalf("optimized listing lacks the info-exists tag:\n%s", lst)
+	}
+	// Shadowed: `[info exists dropped]` now returns "77" (truthy), so the
+	// reset branch is skipped and incr continues from the first run.
+	if _, err := in.Eval(`proc info {args} { return "77" }`); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := pr.Run(); err != nil || res != "2" {
+		t.Fatalf("post-shadow run: %q, %v", res, err)
+	}
+}
+
+// TestOptStatsCounters: the optimizer telemetry moves when the machinery
+// runs — fused sites, cache traffic, recompiles, deopts.
+func TestOptStatsCounters(t *testing.T) {
+	before := Stats()
+	in := New()
+	in.SetOptimize(true)
+	in.Freeze("proto", "tcp")
+	s := MustParse(`if {$proto eq "tcp"} { set r 1 }; set r`)
+	if _, err := in.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	in.SetGlobal("proto", "udp")
+	if _, err := in.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+	if after.Compiles <= before.Compiles {
+		t.Errorf("Compiles did not advance: %+v -> %+v", before, after)
+	}
+	if after.Optimized <= before.Optimized {
+		t.Errorf("Optimized did not advance")
+	}
+	if after.FusedOps <= before.FusedOps {
+		t.Errorf("FusedOps did not advance")
+	}
+	if after.Deopts <= before.Deopts {
+		t.Errorf("Deopts did not advance after fact mutation")
+	}
+}

@@ -3,6 +3,7 @@ package script
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strconv"
 	"strings"
 )
@@ -57,15 +58,15 @@ const (
 	opIncrNamedDyn // var consts[a] += pop(); c = wrap
 
 	// Control flow.
-	opBranchFalse     // pop value; if !truth jump a; c = wrap for truth errors
-	opReturnNil       // raise flowReturn ""
-	opReturnVal       // raise flowReturn pop()
-	opFlowBreak       // raise break (no statically known enclosing loop)
-	opFlowContinue    // raise continue
-	opForeachInit     // pop items list, split, push iterator state; a = fe index, c = wrap
-	opForeachInitPre  // push iterator over fes[a].preSplit
-	opForeachStep     // assign vars and advance, or jump b when exhausted; a = fe index
-	opForeachDone     // pop iterator state; acc = ""
+	opBranchFalse    // pop value; if !truth jump a; c = wrap for truth errors
+	opReturnNil      // raise flowReturn ""
+	opReturnVal      // raise flowReturn pop()
+	opFlowBreak      // raise break (no statically known enclosing loop)
+	opFlowContinue   // raise continue
+	opForeachInit    // pop items list, split, push iterator state; a = fe index, c = wrap
+	opForeachInitPre // push iterator over fes[a].preSplit
+	opForeachStep    // assign vars and advance, or jump b when exhausted; a = fe index
+	opForeachDone    // pop iterator state; acc = ""
 
 	// Value-stack ops (expr).
 	opVConst     // push vconsts[a]
@@ -81,7 +82,78 @@ const (
 	opVCondJump  // pop cond; if !truth jump a; c = wrap
 	opVCall      // math function call site a; c = wrap
 	opVResult    // acc = pop().String()  — result of a compiled expr command
+
+	// Superinstructions, emitted only by the optimizer (optimize.go) —
+	// the compiler never produces them. Each is an exact macro-expansion
+	// of the unfused sequence it replaces: identical stack states, step
+	// accounting, and errors at every observable point, so the parity
+	// harness covers them through the ordinary differential tests.
+	opStepGuard    // opStep+opGuard: a = guard index, b = deopt jump target
+	opStepInvoke   // [opClearAcc]+opStep+pushes+opInvoke[+opVFromAcc]: a = fused index
+	opConstBinop   // opVConst+opVBinop: pop x, push binop b(x, vconsts[a]); c = wrap
+	opCmpConstBr   // opVConst+opVBinop+opBranchFalse: a = fused index, c = wrap
+	opSlotBinop    // opVSlot+opVConst+opVBinop: a = fused index, c = wrap
+	opSlotCmpBr    // opVSlot+opVConst+opVBinop+opBranchFalse: a = fused index, c = wrap
+	opStepIncrSlot // opStep+opGuard+opIncrSlot: a = fused index, c = wrap
+	opNotBr        // opVUnary(!)+opBranchFalse: pop x, jump a when x truthy; c = wrap
+	opEnterClear   // opEnterNest+opClearAcc; line = word line
+	opLeavePush    // opLeaveNest+opPushAcc
+	opSetSlotConst // opPushConst+opSetSlot: slot a = consts[b]; acc = it
+	opAccConst     // acc = consts[a] — opGetSlot specialized on a frozen slot
+
+	// Second-order superinstructions: fusions across an invoke and the
+	// comparison consuming it, and branch-target landing pads.
+	opInvokeCmpBr    // opStepInvoke+eq/ne vconst+opBranchFalse: a = fused index
+	opClearStepGuard // opClearAcc+opStep+opGuard: a = guard index, b = deopt target
+	opClearJump      // opClearAcc+opJump: acc = ""; jump a
 )
+
+// Fused-argument source kinds for opStepInvoke.
+const (
+	argConst uint8 = iota // consts[a]
+	argSlot               // global slot a (b = name const for the error)
+	argNamed              // in.Var(consts[a])
+)
+
+// Fused-op flags.
+const (
+	fuseClearAcc   uint8 = 1 << 0 // acc = "" before the step (cmdNode shape)
+	fusePushCoerce uint8 = 1 << 1 // push coerce(acc) after the invoke (cmdNode shape)
+	// opInvokeCmpBr: cstr is canonical (coerce(cstr).String() == cstr), so
+	// raw equality of the invoke result against cstr proves the coerced
+	// comparison true without parsing — the hot-path shortcut for
+	// `if {[msg_type m] eq "TYPE"}`.
+	fuseRawEq uint8 = 1 << 2
+	// opStepInvoke: the site is `info exists <literal>` — when the site
+	// still binds the builtin info command, the VM answers from the
+	// variable table directly (slot when interned) instead of pushing
+	// arguments and dispatching.
+	fuseInfoExists uint8 = 1 << 3
+)
+
+// argSrc is one fused argument push for opStepInvoke.
+type argSrc struct {
+	kind uint8
+	a, b int32
+	line int32
+}
+
+// fusedOp is the operand record for superinstructions whose unfused
+// sequence carries more operands than one instr can hold. Indexed by
+// instr.a; owned by the optimized Program.
+type fusedOp struct {
+	site   int32    // opStepInvoke: invoke site index
+	args   []argSrc // opStepInvoke: argument pushes, in order
+	flags  uint8
+	slot   int32 // opSlotBinop/opSlotCmpBr/opStepIncrSlot: global slot
+	nameC  int32 // name const for the unset-variable error
+	vconst int32 // opConstBinop family: vconsts index of the folded operand
+	binop  int32
+	target int32  // branch/deopt target (remapped by later passes)
+	guard  int32  // opStepIncrSlot: guard index, -1 when the guard was proven dead
+	delta  int64  // opStepIncrSlot: literal increment
+	cstr   string // opInvokeCmpBr: vconsts[vconst].String(), precomputed
+}
 
 // instr is one VM instruction. Operand meaning is per-opcode; by
 // convention a holds the main operand or jump target, b a secondary
@@ -104,11 +176,32 @@ type wrapCtx struct {
 // cache (pr/cmd) is valid while epoch matches the interpreter's cmdEpoch;
 // any Register/Unregister/proc definition invalidates every site at once.
 type invokeSite struct {
-	name  string
-	argc  int32
-	epoch uint64 // 0 = never resolved (cmdEpoch starts above 0)
-	pr    *proc
-	cmd   Command
+	name   string
+	argc   int32
+	epoch  uint64 // 0 = never resolved (cmdEpoch starts above 0)
+	pr     *proc
+	cmd    Command
+	isInfo bool // cmd is the builtin info command (fuseInfoExists fast path)
+}
+
+// infoBuiltinPtr identifies the builtin info command by code pointer;
+// revalidate compares against it so a shadowing Register("info", ...) or
+// proc turns the fuseInfoExists fast path off at the site.
+var infoBuiltinPtr = reflect.ValueOf(Command(cmdInfo)).Pointer()
+
+// revalidate refreshes the site's monomorphic cache after a command-epoch
+// change, retagging whether the site still binds the builtin info command.
+func (site *invokeSite) revalidate(in *Interp) {
+	site.pr = in.procs[site.name]
+	site.cmd = nil
+	site.isInfo = false
+	if site.pr == nil {
+		site.cmd = in.commands[site.name]
+		if site.cmd != nil && site.name == "info" {
+			site.isInfo = reflect.ValueOf(site.cmd).Pointer() == infoBuiltinPtr
+		}
+	}
+	site.epoch = in.cmdEpoch
 }
 
 // guardInfo backs an opGuard: if any special form named by mask has been
@@ -123,7 +216,7 @@ type guardInfo struct {
 // slots when all intern, names otherwise) and, for literal lists, the
 // pre-split items.
 type feInfo struct {
-	slots    []int32  // nil → use names
+	slots    []int32 // nil → use names
 	names    []string
 	preSplit []string // non-nil for opForeachInitPre
 	nvars    int32
@@ -181,6 +274,7 @@ type Program struct {
 	deltas  []int64
 	calls   []callSite
 	loops   []loopScope
+	fused   []fusedOp // superinstruction operands (optimized programs only)
 }
 
 // loopAt returns the innermost loop whose body covers pc, or nil.
@@ -377,12 +471,7 @@ func (in *Interp) exec(p *Program) (string, error) {
 			base := len(in.vmArgs) - int(site.argc)
 			args := in.vmArgs[base:]
 			if site.epoch != in.cmdEpoch {
-				site.pr = in.procs[site.name]
-				site.cmd = nil
-				if site.pr == nil {
-					site.cmd = in.commands[site.name]
-				}
-				site.epoch = in.cmdEpoch
+				site.revalidate(in)
 			}
 			var res string
 			switch {
@@ -555,6 +644,277 @@ func (in *Interp) exec(p *Program) (string, error) {
 			in.vmFes[n] = feState{}
 			in.vmFes = in.vmFes[:n]
 			acc = ""
+
+		case opStepGuard:
+			if in.maxSteps > 0 {
+				in.steps++
+				if in.steps > in.maxSteps {
+					in.limitHit = true
+					err = &EvalError{Msg: fmt.Sprintf("step limit %d exceeded", in.maxSteps), Line: int(i.line)}
+					break
+				}
+			}
+			g := &p.guards[i.a]
+			if in.shadowMask&g.mask != 0 {
+				res, derr := in.evalCmdTree(g.cmd)
+				if derr != nil {
+					err = derr
+					break
+				}
+				acc = res
+				pc = i.b
+				continue
+			}
+
+		case opStepInvoke, opInvokeCmpBr:
+			f := &p.fused[i.a]
+			if f.flags&fuseClearAcc != 0 {
+				acc = ""
+			}
+			if in.maxSteps > 0 {
+				in.steps++
+				if in.steps > in.maxSteps {
+					in.limitHit = true
+					err = &EvalError{Msg: fmt.Sprintf("step limit %d exceeded", in.maxSteps), Line: int(i.line)}
+					break
+				}
+			}
+			site := &p.invokes[f.site]
+			if site.epoch != in.cmdEpoch {
+				site.revalidate(in)
+			}
+			var res string
+			if f.flags&fuseInfoExists != 0 && site.isInfo {
+				// `info exists <literal>` on the builtin: both arguments
+				// are constants and the command cannot error, so skip the
+				// pushes and dispatch and answer from the variable table —
+				// the interned slot when the script runs at global scope.
+				name := p.consts[f.nameC]
+				var ok bool
+				if in.curFrame() != nil {
+					_, ok = in.Var(name)
+				} else if f.slot >= 0 {
+					ok = in.gslots[f.slot].set
+				} else {
+					_, ok = in.gget(name)
+				}
+				res = boolStr(ok)
+			} else {
+				for k := 0; k < len(f.args) && err == nil; k++ {
+					as := &f.args[k]
+					switch as.kind {
+					case argConst:
+						in.vmArgs = append(in.vmArgs, p.consts[as.a])
+					case argSlot:
+						s := &in.gslots[as.a]
+						if !s.set {
+							err = &EvalError{Msg: fmt.Sprintf("can't read %q: no such variable", p.consts[as.b]), Line: int(as.line)}
+						} else {
+							in.vmArgs = append(in.vmArgs, s.val)
+						}
+					case argNamed:
+						v, ok := in.Var(p.consts[as.a])
+						if !ok {
+							err = &EvalError{Msg: fmt.Sprintf("can't read %q: no such variable", p.consts[as.a]), Line: int(as.line)}
+						} else {
+							in.vmArgs = append(in.vmArgs, v)
+						}
+					}
+				}
+				if err != nil {
+					break
+				}
+				base := len(in.vmArgs) - int(site.argc)
+				args := in.vmArgs[base:]
+				switch {
+				case site.pr != nil:
+					res, err = in.callProc(site.pr, args, int(i.line))
+				case site.cmd != nil:
+					res, err = site.cmd(in, args)
+					if err != nil {
+						err = wrapCmdErr(err, site.name, int(i.line))
+					}
+				default:
+					err = &EvalError{Cmd: site.name, Line: int(i.line),
+						Msg: fmt.Sprintf("invalid command name %q", site.name)}
+				}
+				in.vmArgs = in.vmArgs[:base]
+				if err != nil {
+					break
+				}
+			}
+			acc = res
+			if i.op == opInvokeCmpBr {
+				// eq/ne against a canonical constant: raw equality proves
+				// the coerced comparison; only a raw mismatch needs the
+				// numeric-normalizing parse.
+				eq := f.flags&fuseRawEq != 0 && acc == f.cstr
+				if !eq {
+					eq = coerce(acc).String() == f.cstr
+				}
+				if eq == (f.binop == vbNeStr) {
+					pc = f.target
+					continue
+				}
+				pc++
+				continue
+			}
+			if f.flags&fusePushCoerce != 0 {
+				in.vmVals = append(in.vmVals, coerce(acc))
+			}
+
+		case opClearStepGuard:
+			acc = ""
+			if in.maxSteps > 0 {
+				in.steps++
+				if in.steps > in.maxSteps {
+					in.limitHit = true
+					err = &EvalError{Msg: fmt.Sprintf("step limit %d exceeded", in.maxSteps), Line: int(i.line)}
+					break
+				}
+			}
+			g := &p.guards[i.a]
+			if in.shadowMask&g.mask != 0 {
+				res, derr := in.evalCmdTree(g.cmd)
+				if derr != nil {
+					err = derr
+					break
+				}
+				acc = res
+				pc = i.b
+				continue
+			}
+
+		case opClearJump:
+			acc = ""
+			pc = i.a
+			continue
+
+		case opConstBinop:
+			n := len(in.vmVals) - 1
+			x := in.vmVals[n]
+			in.vmVals = in.vmVals[:n]
+			var v value
+			v, err = evalBinop(i.b, x, p.vconsts[i.a])
+			if err != nil {
+				break
+			}
+			in.vmVals = append(in.vmVals, v)
+
+		case opCmpConstBr:
+			f := &p.fused[i.a]
+			n := len(in.vmVals) - 1
+			x := in.vmVals[n]
+			in.vmVals = in.vmVals[:n]
+			var v value
+			v, err = evalBinop(f.binop, x, p.vconsts[f.vconst])
+			if err != nil {
+				break
+			}
+			var b bool
+			b, err = v.truth()
+			if err != nil {
+				break
+			}
+			if !b {
+				pc = f.target
+				continue
+			}
+
+		case opSlotBinop, opSlotCmpBr:
+			f := &p.fused[i.a]
+			s := &in.gslots[f.slot]
+			if !s.set {
+				err = fmt.Errorf("can't read %q: no such variable", p.consts[f.nameC])
+				break
+			}
+			var av value
+			if n, ok := in.slotNumber(s); ok {
+				av = n
+			} else {
+				av = strv(s.val)
+			}
+			var v value
+			v, err = evalBinop(f.binop, av, p.vconsts[f.vconst])
+			if err != nil {
+				break
+			}
+			if i.op == opSlotBinop {
+				in.vmVals = append(in.vmVals, v)
+				break
+			}
+			var b bool
+			b, err = v.truth()
+			if err != nil {
+				break
+			}
+			if !b {
+				pc = f.target
+				continue
+			}
+
+		case opStepIncrSlot:
+			f := &p.fused[i.a]
+			if f.flags&fuseClearAcc != 0 {
+				acc = ""
+			}
+			if in.maxSteps > 0 {
+				in.steps++
+				if in.steps > in.maxSteps {
+					in.limitHit = true
+					err = &EvalError{Msg: fmt.Sprintf("step limit %d exceeded", in.maxSteps), Line: int(i.line)}
+					break
+				}
+			}
+			if f.guard >= 0 {
+				g := &p.guards[f.guard]
+				if in.shadowMask&g.mask != 0 {
+					res, derr := in.evalCmdTree(g.cmd)
+					if derr != nil {
+						err = derr
+						break
+					}
+					acc = res
+					pc = f.target
+					continue
+				}
+			}
+			acc, err = in.incrSlot(f.slot, f.delta)
+
+		case opNotBr:
+			n := len(in.vmVals) - 1
+			v := in.vmVals[n]
+			in.vmVals = in.vmVals[:n]
+			var b bool
+			b, err = v.truth()
+			if err != nil {
+				break
+			}
+			if b {
+				pc = i.a
+				continue
+			}
+
+		case opEnterClear:
+			in.depth++
+			if in.depth > maxDepth {
+				in.depth--
+				err = &EvalError{Msg: "too many nested evaluations", Line: int(i.line)}
+				break
+			}
+			acc = ""
+
+		case opLeavePush:
+			in.depth--
+			in.vmArgs = append(in.vmArgs, acc)
+
+		case opSetSlotConst:
+			v := p.consts[i.b]
+			in.gsetSlot(i.a, v)
+			acc = v
+
+		case opAccConst:
+			acc = p.consts[i.a]
 
 		case opVConst:
 			in.vmVals = append(in.vmVals, p.vconsts[i.a])
