@@ -60,6 +60,9 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-verdict progress lines")
 		quar    = flag.String("quarantine", "", "directory for .pfi repros of deterministic contained failures")
 
+		raftSizes = flag.String("raft", "", "sweep the raft consensus matrix instead of GMP: comma-separated cluster sizes (e.g. 3,5,25)")
+		raftChurn = flag.String("raft-churn", "none,restart,suspend,partition", "churn models for the raft sweep")
+
 		serve       = flag.String("serve", "", "coordinate a fleet and serve HTTP workers plus /status and /metrics on this address")
 		connect     = flag.String("connect", "", "run as a remote worker against a coordinator URL (e.g. http://host:8080)")
 		spawn       = flag.Int("spawn-workers", 0, "coordinate a fleet of N locally spawned worker processes")
@@ -72,6 +75,7 @@ func main() {
 	flag.Parse()
 	hcfg.ReproDir = *quar
 	fleet.RegisterScenario("gmp", gmpScenario)
+	registerRaftScenarios()
 
 	if *workerStdio {
 		if err := fleet.ServeStdio("pficampaign"); err != nil {
@@ -95,7 +99,18 @@ func main() {
 		os.Exit(1)
 	}
 	fcfg := fleetMode{serve: *serve, spawn: *spawn, shards: *shards, unitTimeout: *unitTimeout}
-	runErr := run(*workers, *types, *faults, *list, *dump, *quiet, *hcfg, fcfg)
+	typesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "types" {
+			typesSet = true
+		}
+	})
+	var runErr error
+	if *raftSizes != "" {
+		runErr = runRaftMode(*raftSizes, *raftChurn, *workers, *types, typesSet, *faults, *list, *dump, *quiet, *hcfg, fcfg)
+	} else {
+		runErr = run(*workers, *types, *faults, *list, *dump, *quiet, *hcfg, fcfg)
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
 	}

@@ -11,6 +11,9 @@
 //	pfifuzz -out found/               # emit minimized repros + goldens here
 //	pfifuzz -no-snapshot              # full world replay per candidate
 //	pfifuzz -q                        # suppress per-generation progress
+//	pfifuzz -raft 5                   # also seed raft consensus schedules (5-node cluster)
+//	pfifuzz -raft 5 -raft-bugs skip-vote-persist
+//	                                  # fuzz a deliberately broken raft (oracle self-test)
 //
 // Sharded (fleet) mode distributes candidate evaluation over worker
 // processes while derivation, corpus evolution, shrinking, and repro
@@ -50,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pfi/internal/diag"
@@ -72,6 +76,9 @@ func main() {
 		quar    = flag.String("quarantine", "", "directory for .pfi repros of contained failures (tool-fault, livelock, budget-exceeded)")
 		snap    = flag.Bool("snapshot", true, "fork shared-prefix candidates from world snapshots (O(delta) per candidate)")
 		noSnap  = flag.Bool("no-snapshot", false, "replay every candidate in a fresh world (overrides -snapshot)")
+
+		raftN    = flag.Int("raft", 0, "seed raft consensus schedules for an n-node cluster into the corpus (0: tcp/gmp only)")
+		raftBugs = flag.String("raft-bugs", "", "comma-separated raft implementation bugs to seed (skip-vote-persist, ack-before-quorum) — oracle self-test")
 
 		serve       = flag.String("serve", "", "coordinate a fleet and serve HTTP workers plus /status and /metrics on this address")
 		connect     = flag.String("connect", "", "run as a remote worker against a coordinator URL (e.g. http://host:8080)")
@@ -123,6 +130,22 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Profile = p
+	}
+	if *raftN > 0 {
+		// The generic corpus plus both crafted probes; with -raft-bugs set
+		// the probes catch their seeded bug at generation zero, so even a
+		// tiny -budget demonstrates the oracles end to end. Leaving -raft
+		// off keeps the historical tcp/gmp seed stream bit-identical.
+		// Schedules carry bugs as space-separated `world raft ... bugs`
+		// tokens, so commas in the flag normalize to spaces.
+		bugs := strings.Join(strings.FieldsFunc(*raftBugs, func(r rune) bool {
+			return r == ',' || r == ' '
+		}), " ")
+		opts.Seeds = append(explore.RaftSeedCorpus(*raftN, bugs),
+			explore.RaftStaleLeaderProbe(bugs), explore.RaftDoubleVoteProbe(bugs))
+	} else if *raftBugs != "" {
+		fmt.Fprintln(os.Stderr, "pfifuzz: -raft-bugs needs -raft to seed raft schedules")
+		os.Exit(1)
 	}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pfi/internal/core"
+	"pfi/internal/raft"
 	"pfi/internal/script"
 	"pfi/internal/tcp"
 	"pfi/internal/trace"
@@ -55,7 +56,7 @@ func registerCommands(in *script.Interp, h *harness) {
 			return "", fmt.Errorf("world already declared (%q)", h.kind)
 		}
 		if len(args) == 0 {
-			return "", fmt.Errorf("wrong # args: should be %q", "world tcp ?profile? | world gmp node ?node ...? ?bugs {list}?")
+			return "", fmt.Errorf("wrong # args: should be %q", "world tcp ?profile? | world gmp node ?node ...? ?bugs {list}? | world raft n ?bugs {list}?")
 		}
 		switch args[0] {
 		case "tcp":
@@ -96,8 +97,30 @@ func registerCommands(in *script.Interp, h *harness) {
 				return "", err
 			}
 			return strings.Join(nodes, " "), h.buildGMP(nodes, b)
+		case "raft":
+			if len(args) != 2 && len(args) != 4 {
+				return "", fmt.Errorf("wrong # args: should be %q", "world raft n ?bugs {list}?")
+			}
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				return "", fmt.Errorf("bad raft cluster size %q", args[1])
+			}
+			var b raft.Bugs
+			if len(args) == 4 {
+				if args[2] != "bugs" {
+					return "", fmt.Errorf("wrong # args: should be %q", "world raft n ?bugs {list}?")
+				}
+				tokens, err := script.ListSplit(args[3])
+				if err != nil {
+					return "", err
+				}
+				if b, err = parseRaftBugs(tokens); err != nil {
+					return "", err
+				}
+			}
+			return fmt.Sprintf("r1..r%d", n), h.buildRaft(n, b)
 		default:
-			return "", fmt.Errorf("unknown world kind %q (want tcp or gmp)", args[0])
+			return "", fmt.Errorf("unknown world kind %q (want tcp, gmp, or raft)", args[0])
 		}
 	})
 
@@ -141,26 +164,38 @@ func registerCommands(in *script.Interp, h *harness) {
 	})
 
 	in.Register("unplug", func(_ *script.Interp, args []string) (string, error) {
-		if err := needArgs(args, 1, "unplug node"); err != nil {
-			return "", err
+		if len(args) < 1 {
+			return "", fmt.Errorf("wrong # args: should be %q", "unplug node ?node ...?")
 		}
-		n, err := h.node(args[0])
+		names, err := expandNodeSet(args)
 		if err != nil {
 			return "", err
 		}
-		n.Unplug()
+		for _, name := range names {
+			n, err := h.node(name)
+			if err != nil {
+				return "", err
+			}
+			n.Unplug()
+		}
 		return "", nil
 	})
 
 	in.Register("replug", func(_ *script.Interp, args []string) (string, error) {
-		if err := needArgs(args, 1, "replug node"); err != nil {
-			return "", err
+		if len(args) < 1 {
+			return "", fmt.Errorf("wrong # args: should be %q", "replug node ?node ...?")
 		}
-		n, err := h.node(args[0])
+		names, err := expandNodeSet(args)
 		if err != nil {
 			return "", err
 		}
-		n.Replug()
+		for _, name := range names {
+			n, err := h.node(name)
+			if err != nil {
+				return "", err
+			}
+			n.Replug()
+		}
 		return "", nil
 	})
 
@@ -175,6 +210,9 @@ func registerCommands(in *script.Interp, h *harness) {
 		for _, g := range args {
 			members, err := script.ListSplit(g)
 			if err != nil {
+				return "", err
+			}
+			if members, err = expandNodeSet(members); err != nil {
 				return "", err
 			}
 			for _, m := range members {
@@ -504,6 +542,10 @@ func registerCommands(in *script.Interp, h *harness) {
 		}
 		return "0", nil
 	})
+
+	// --- raft workload -----------------------------------------------------
+
+	registerRaftCommands(in, h)
 
 	// --- checks ------------------------------------------------------------
 

@@ -25,8 +25,8 @@ func loadAll(t *testing.T) []*Scenario {
 	if err != nil {
 		t.Fatalf("LoadDir: %v", err)
 	}
-	if len(scs) < 7 {
-		t.Fatalf("expected the 5 TCP + 2 GMP scenarios, found %d", len(scs))
+	if len(scs) < 10 {
+		t.Fatalf("expected the 5 TCP + 2 GMP + 3 raft scenarios, found %d", len(scs))
 	}
 	return scs
 }

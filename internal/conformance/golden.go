@@ -35,10 +35,11 @@ func profileSlug(name string) string {
 
 // GoldenPath returns where a result's pinned trace lives. TCP scenarios are
 // keyed by vendor profile too — the same scenario legitimately produces
-// different traces per vendor — while GMP scenarios have one golden each.
+// different traces per vendor — while GMP and raft scenarios have one
+// golden each.
 func GoldenPath(dir string, r *Result) string {
 	name := r.Scenario
-	if r.World != "" && r.World != "gmp" {
+	if r.World != "" && r.World != "gmp" && r.World != "raft" {
 		name += "@" + profileSlug(r.World)
 	}
 	return filepath.Join(dir, name+GoldenExt)

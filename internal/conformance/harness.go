@@ -12,6 +12,7 @@ import (
 	"pfi/internal/gmp"
 	"pfi/internal/harden"
 	"pfi/internal/netsim"
+	"pfi/internal/raft"
 	"pfi/internal/simtime"
 	"pfi/internal/tcp"
 	"pfi/internal/trace"
@@ -50,7 +51,7 @@ type harness struct {
 	defaultProf tcp.Profile
 	tol         time.Duration // default timing tolerance for expect at/within
 
-	kind string // "", "tcp", or "gmp"
+	kind string // "", "tcp", "gmp", or "raft"
 	w    *netsim.World
 	log  *trace.Log
 	pfis map[string]*core.Layer
@@ -65,6 +66,9 @@ type harness struct {
 
 	// gmp world state
 	gr *exp.GMPRig
+
+	// raft world state
+	rr *exp.RaftRig
 
 	// monitor is the isolation layer's observer, attached when the
 	// scenario builds its world (nil-safe: plain Run sets one anyway,
@@ -88,7 +92,7 @@ func newHarness(defaultProf tcp.Profile) *harness {
 
 func (h *harness) needWorld() error {
 	if h.kind == "" {
-		return fmt.Errorf("no world: declare one with `world tcp` or `world gmp <nodes>` first")
+		return fmt.Errorf("no world: declare one with `world tcp`, `world gmp <nodes>`, or `world raft <n>` first")
 	}
 	return nil
 }
@@ -117,6 +121,13 @@ func (h *harness) needGMP() error {
 	return nil
 }
 
+func (h *harness) needRaft() error {
+	if h.kind != "raft" {
+		return fmt.Errorf("command needs a raft world (current: %q)", h.kind)
+	}
+	return nil
+}
+
 // buildTCP constructs the two-machine TCP world.
 func (h *harness) buildTCP(prof tcp.Profile) error {
 	rig, err := exp.NewTCPRig(prof)
@@ -141,6 +152,23 @@ func (h *harness) buildGMP(names []string, bugs gmp.Bugs) error {
 	h.kind, h.gr = "gmp", gr
 	h.w, h.log = gr.W, gr.Log
 	for name, m := range gr.Ms {
+		h.pfis[name] = m.PFI
+	}
+	h.attachMonitor()
+	return nil
+}
+
+// buildRaft constructs an n-node raft world (nodes r1..rn). The bugs are
+// injected into every node, mirroring how a buggy build ships to the whole
+// fleet at once.
+func (h *harness) buildRaft(n int, bugs raft.Bugs) error {
+	rr, err := exp.NewRaftRig(n, raft.WithBugs(bugs))
+	if err != nil {
+		return err
+	}
+	h.kind, h.rr = "raft", rr
+	h.w, h.log = rr.W, rr.Log
+	for name, m := range rr.Ms {
 		h.pfis[name] = m.PFI
 	}
 	h.attachMonitor()
@@ -197,6 +225,17 @@ func (h *harness) member(name string) (*exp.GMPMember, error) {
 	m, ok := h.gr.Ms[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown gmp member %q", name)
+	}
+	return m, nil
+}
+
+func (h *harness) raftMember(name string) (*exp.RaftMember, error) {
+	if err := h.needRaft(); err != nil {
+		return nil, err
+	}
+	m, ok := h.rr.Ms[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown raft member %q", name)
 	}
 	return m, nil
 }

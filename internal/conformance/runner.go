@@ -144,8 +144,8 @@ func Run(sc *Scenario, opts Options) *Result {
 		res.Elapsed = h.now()
 		if h.kind == "tcp" {
 			res.World = h.prof.Name
-		} else if h.kind == "gmp" {
-			res.World = "gmp"
+		} else if h.kind == "gmp" || h.kind == "raft" {
+			res.World = h.kind
 		}
 	}
 	if iso.Kind != harden.Pass && iso.Kind != harden.Fail {

@@ -160,8 +160,8 @@ func (s *Session) Run(name, suffix string) (*Result, bool) {
 	switch s.h.kind {
 	case "tcp":
 		res.World = s.h.prof.Name
-	case "gmp":
-		res.World = "gmp"
+	case "gmp", "raft":
+		res.World = s.h.kind
 	}
 	return res, true
 }

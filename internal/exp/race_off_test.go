@@ -1,0 +1,6 @@
+//go:build !race
+
+package exp
+
+// raceEnabled scales down node counts under the race detector.
+const raceEnabled = false

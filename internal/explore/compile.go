@@ -14,6 +14,15 @@ import (
 // with static `run` deltas.
 const streamSpacingMS = 250
 
+// Raft workload shape: after the Warmup settle window, the driver submits
+// raftProposals client commands raftProposalGapMS apart. Fixed rather than
+// genome fields so the commit-safety oracle always has entries to judge —
+// shrinking can never minimize the workload away.
+const (
+	raftProposals     = 6
+	raftProposalGapMS = 10_000
+)
+
 // Compile renders the schedule as a bare conformance scenario: world,
 // faultloads, workload, timeline, and a final probe block — no checks.
 // The fuzzer evaluates these; CompileRepro adds the oracle assertions.
@@ -39,6 +48,12 @@ func compile(s Schedule, checks []string) (string, error) {
 		}
 	case WorldGMP:
 		fmt.Fprintf(&b, "world gmp %s\n", strings.Join(gmpNodeNames(s.Nodes), " "))
+	case WorldRaft:
+		if s.RaftBugs != "" {
+			fmt.Fprintf(&b, "world raft %d bugs {%s}\n", s.Nodes, s.RaftBugs)
+		} else {
+			fmt.Fprintf(&b, "world raft %d\n", s.Nodes)
+		}
 	}
 
 	// Faultloads: every fault gene targeting the same (node, direction)
@@ -77,11 +92,14 @@ func compile(s Schedule, checks []string) (string, error) {
 	}
 
 	// Workload.
-	if s.World == WorldTCP {
+	switch s.World {
+	case WorldTCP:
 		b.WriteString("tcp_dial\n")
 		fmt.Fprintf(&b, "tcp_stream %d %d\n", s.Warmup, streamSpacingMS)
-	} else {
+	case WorldGMP:
 		b.WriteString("gmp_start\n")
+	case WorldRaft:
+		b.WriteString("raft_start\n")
 	}
 
 	// Timeline: driver-level genes become run/command pairs in time order.
@@ -104,12 +122,17 @@ func compile(s Schedule, checks []string) (string, error) {
 
 	// Probe block: terminal state recorded into the shared trace so the
 	// Go-side oracles (and human readers of the golden) can judge the run.
-	if s.World == WorldTCP {
+	// Raft's safety oracles judge the elected/apply event history directly,
+	// so its probe is a one-line human-readable summary.
+	switch s.World {
+	case WorldTCP:
 		b.WriteString("log probe tcp state [tcp_state] unacked [tcp_unacked] sent [sent_len] recv [recv_len] match [recv_matches]\n")
-	} else {
+	case WorldGMP:
 		for _, n := range gmpNodeNames(s.Nodes) {
 			fmt.Fprintf(&b, "log probe gmp %s trans [gmp_in_transition %s] group [gmp_group %s]\n", n, n, n)
 		}
+	case WorldRaft:
+		b.WriteString("log probe raft leaders [raft_leaders] election_conflicts [raft_election_conflicts] apply_conflicts [raft_apply_conflicts]\n")
 	}
 	for _, c := range checks {
 		b.WriteString(c)
@@ -147,10 +170,24 @@ type event struct {
 }
 
 // timeline expands the driver-level genes (inject, partition, suspend,
-// unplug) into time-ordered commands, pairing each bounded window with its
-// closing command.
+// unplug, restart) into time-ordered commands, pairing each bounded window
+// with its closing command. Raft worlds also get their fixed proposal
+// workload here, interleaved with the faults in global time order.
 func (s Schedule) timeline() []event {
 	var evs []event
+	if s.World == WorldRaft {
+		// Even proposals chase the current unique leader; odd ones go to a
+		// fixed node round-robin. The latter keep client traffic flowing
+		// when leadership is ambiguous (a stale leader behind a partition
+		// still gets proposals — exactly where commit-safety bugs live).
+		for k := 0; k < raftProposals; k++ {
+			cmd := fmt.Sprintf("raft_propose p%d", k)
+			if k%2 == 1 {
+				cmd += fmt.Sprintf(" r%d", k%s.Nodes+1)
+			}
+			evs = append(evs, event{s.Warmup*1000 + k*raftProposalGapMS, cmd})
+		}
+	}
 	for _, g := range sortGenesByTime(s.Genes) {
 		switch g.Kind {
 		case GeneInject:
@@ -171,16 +208,25 @@ func (s Schedule) timeline() []event {
 			}
 			evs = append(evs, event{g.AtMS, fmt.Sprintf("inject %s %s %s {%s}", g.Node, dir, g.Type, fields)})
 		case GenePartition:
-			names := gmpNodeNames(s.Nodes)
+			names := s.nodes()
 			evs = append(evs, event{g.AtMS, fmt.Sprintf("partition {%s} {%s}",
 				strings.Join(names[:g.Split], " "), strings.Join(names[g.Split:], " "))})
 			if g.DurMS > 0 {
 				evs = append(evs, event{g.AtMS + g.DurMS, "heal"})
 			}
 		case GeneSuspend:
-			evs = append(evs, event{g.AtMS, "gmp_suspend " + g.Node})
+			suspend, resume := "gmp_suspend ", "gmp_resume "
+			if s.World == WorldRaft {
+				suspend, resume = "raft_suspend ", "raft_resume "
+			}
+			evs = append(evs, event{g.AtMS, suspend + g.Node})
 			if g.DurMS > 0 {
-				evs = append(evs, event{g.AtMS + g.DurMS, "gmp_resume " + g.Node})
+				evs = append(evs, event{g.AtMS + g.DurMS, resume + g.Node})
+			}
+		case GeneRestart:
+			evs = append(evs, event{g.AtMS, "raft_stop " + g.Node})
+			if g.DurMS > 0 {
+				evs = append(evs, event{g.AtMS + g.DurMS, "raft_start " + g.Node})
 			}
 		case GeneUnplug:
 			evs = append(evs, event{g.AtMS, "unplug " + g.Node})
@@ -254,6 +300,14 @@ func reproChecks(s Schedule, v Violation) []string {
 	case ViolStuckTransition:
 		return []string{
 			fmt.Sprintf(`assert {[gmp_in_transition %s]} "member wedged mid view-transition after quiescence"`, v.Nodes),
+		}
+	case ViolElectionSafety:
+		return []string{
+			`assert {[raft_election_conflicts] > 0} "two nodes won the same term: election safety violated"`,
+		}
+	case ViolCommitSafety:
+		return []string{
+			`assert {[raft_apply_conflicts] > 0} "a log index applied with two identities: commit safety violated"`,
 		}
 	default:
 		return nil

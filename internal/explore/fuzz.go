@@ -48,6 +48,11 @@ type Options struct {
 	Log func(format string, args ...any)
 	// Context cancels the run between generations.
 	Context context.Context
+	// Seeds are extra generation-zero schedules appended after the built-in
+	// seed corpus — the only way raft worlds enter a run. Leaving it empty
+	// reproduces the historical exploration bit-for-bit: the corpus, the
+	// random stream, and every repro hash are untouched.
+	Seeds []Schedule
 	// Snapshot turns on the world snapshot/fork fast path: candidates
 	// sharing a schedule prefix are bucketed, the prefix runs once in a
 	// fresh world, and each candidate forks from that warm parent and
@@ -232,8 +237,8 @@ func Fuzz(opts Options) (*Report, error) {
 		return outs, err
 	}
 
-	// Generation zero: the deterministic seed corpus.
-	seeds := seedCorpus()
+	// Generation zero: the deterministic seed corpus, plus any caller seeds.
+	seeds := append(seedCorpus(), opts.Seeds...)
 	for _, s := range seeds {
 		seen[s.Key()] = true
 	}

@@ -33,8 +33,9 @@ import (
 
 // World kinds a schedule can target.
 const (
-	WorldTCP = "tcp"
-	WorldGMP = "gmp"
+	WorldTCP  = "tcp"
+	WorldGMP  = "gmp"
+	WorldRaft = "raft"
 )
 
 // GeneKind discriminates the gene union.
@@ -54,6 +55,11 @@ const (
 	// GeneUnplug detaches a node's network interface at AtMS and replugs it
 	// DurMS later (DurMS == 0: never).
 	GeneUnplug
+	// GeneRestart crashes a raft node at AtMS — wiping its volatile state
+	// but keeping term/vote/log, the durable half of the paper's
+	// crash-recovery model — and reboots it DurMS later (DurMS == 0:
+	// never). Raft worlds only.
+	GeneRestart
 )
 
 var geneKindNames = map[GeneKind]string{
@@ -62,6 +68,7 @@ var geneKindNames = map[GeneKind]string{
 	GenePartition: "partition",
 	GeneSuspend:   "suspend",
 	GeneUnplug:    "unplug",
+	GeneRestart:   "restart",
 }
 
 // String implements fmt.Stringer.
@@ -112,26 +119,39 @@ func (g Gene) Key() string {
 // Schedule is the fuzzer's genome: a world selection, a workload size, and
 // an ordered gene list.
 type Schedule struct {
-	// World is WorldTCP or WorldGMP.
+	// World is WorldTCP, WorldGMP, or WorldRaft.
 	World string
 	// Profile pins the vendor profile for TCP worlds ("" = runner default).
 	Profile string
-	// Nodes is the GMP member count (TCP worlds always have two machines).
+	// Nodes is the GMP member or raft cluster count (TCP worlds always have
+	// two machines).
 	Nodes int
 	// Warmup is the TCP workload size in MSS segments (streamed 250 ms
-	// apart), or the GMP settle time in seconds before the first gene.
+	// apart), or the GMP/raft settle time in seconds before the first
+	// proposal or gene.
 	Warmup int
 	// TailMS is how long the world keeps running after the last timeline
 	// event — the drain window the oracles judge quiescence against.
 	TailMS int
+	// RaftBugs, for raft worlds, seeds the implementation bugs the world is
+	// built with (space-separated `world raft ... bugs` tokens). Used by the
+	// oracle self-tests; empty for real exploration.
+	// The json tag omits the empty case so pre-raft schedules keep their
+	// historical fleet wire encoding (pinned as protocol goldens).
+	RaftBugs string `json:",omitempty"`
 	// Genes is the fault schedule.
 	Genes []Gene
 }
 
-// Key renders the schedule canonically.
+// Key renders the schedule canonically. RaftBugs joins the key only when
+// set, so every pre-raft schedule keeps its historical key (and therefore
+// its corpus hash and repro filename).
 func (s Schedule) Key() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%s|%d|%d|%d", s.World, s.Profile, s.Nodes, s.Warmup, s.TailMS)
+	if s.RaftBugs != "" {
+		fmt.Fprintf(&b, "|bugs=%s", s.RaftBugs)
+	}
 	for _, g := range s.Genes {
 		b.WriteByte('\n')
 		b.WriteString(g.Key())
@@ -156,11 +176,17 @@ func fnv64(s string) uint64 {
 
 // tcpNodes and the message-type vocabularies the genome draws from.
 var (
-	tcpNodes   = []string{"vendor", "xkernel"}
-	tcpTypes   = []string{"*", "DATA", "ACK", "SYN", "SYN-ACK", "FIN", "RST"}
-	tcpInject  = []string{"ACK", "RST", "SYN", "FIN"}
-	gmpTypes   = []string{"*", "HEARTBEAT", "PROCLAIM", "JOIN", "MEMBERSHIP_CHANGE", "ACK", "NAK", "COMMIT", "DEAD_REPORT"}
-	gmpInject  = []string{"HEARTBEAT", "PROCLAIM", "JOIN", "ACK", "NAK", "DEAD_REPORT"}
+	tcpNodes  = []string{"vendor", "xkernel"}
+	tcpTypes  = []string{"*", "DATA", "ACK", "SYN", "SYN-ACK", "FIN", "RST"}
+	tcpInject = []string{"ACK", "RST", "SYN", "FIN"}
+	gmpTypes  = []string{"*", "HEARTBEAT", "PROCLAIM", "JOIN", "MEMBERSHIP_CHANGE", "ACK", "NAK", "COMMIT", "DEAD_REPORT"}
+	gmpInject = []string{"HEARTBEAT", "PROCLAIM", "JOIN", "ACK", "NAK", "DEAD_REPORT"}
+	// raftTypes has no inject counterpart: forging a VoteResp or AppendResp
+	// is a Byzantine fault, and raft's safety guarantees assume non-Byzantine
+	// failures — an injected forged vote "violating" election safety would be
+	// a false positive, not a protocol bug. Corruption faults are fine: the
+	// wire checksum turns them into loss.
+	raftTypes  = []string{"*", "REQUEST_VOTE", "VOTE_RESP", "APPEND_ENTRIES", "APPEND_RESP"}
 	geneFaults = []campaign.FaultKind{campaign.Drop, campaign.DropFirstN, campaign.Delay, campaign.Duplicate, campaign.Corrupt, campaign.Reorder}
 )
 
@@ -170,6 +196,16 @@ func gmpNodeNames(n int) []string {
 	names := make([]string, n)
 	for i := range names {
 		names[i] = fmt.Sprintf("compsun%d", i+1)
+	}
+	return names
+}
+
+// raftNodeNames returns the first n raft node names, the rig's canonical
+// numbering.
+func raftNodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i+1)
 	}
 	return names
 }
@@ -188,8 +224,11 @@ func (s Schedule) peerOf(node string) string {
 
 // nodes returns the schedule's participant names.
 func (s Schedule) nodes() []string {
-	if s.World == WorldGMP {
+	switch s.World {
+	case WorldGMP:
 		return gmpNodeNames(s.Nodes)
+	case WorldRaft:
+		return raftNodeNames(s.Nodes)
 	}
 	return tcpNodes
 }
@@ -205,6 +244,10 @@ func (s Schedule) Validate() error {
 	case WorldGMP:
 		if s.Nodes < 2 || s.Nodes > 7 {
 			return fmt.Errorf("explore: gmp node count %d out of [2,7]", s.Nodes)
+		}
+	case WorldRaft:
+		if s.Nodes < 3 || s.Nodes > 1000 {
+			return fmt.Errorf("explore: raft cluster size %d out of [3,1000]", s.Nodes)
 		}
 	default:
 		return fmt.Errorf("explore: unknown world %q", s.World)
@@ -235,6 +278,12 @@ func (s Schedule) Validate() error {
 				return fmt.Errorf("explore: gene %d: empty type selector", i)
 			}
 		case GeneInject:
+			if s.World == WorldRaft {
+				// Injection forges protocol messages — a Byzantine fault
+				// outside raft's failure model, and a false-positive machine
+				// for the safety oracles.
+				return fmt.Errorf("explore: gene %d: inject in a raft world", i)
+			}
 			if !names[g.Node] {
 				return fmt.Errorf("explore: gene %d: unknown node %q", i, g.Node)
 			}
@@ -242,19 +291,23 @@ func (s Schedule) Validate() error {
 				return fmt.Errorf("explore: gene %d: bad direction", i)
 			}
 		case GenePartition:
-			if s.World != WorldGMP {
+			if s.World != WorldGMP && s.World != WorldRaft {
 				return fmt.Errorf("explore: gene %d: partition in a %s world", i, s.World)
 			}
 			if g.Split < 1 || g.Split >= s.Nodes {
 				return fmt.Errorf("explore: gene %d: split %d out of (0,%d)", i, g.Split, s.Nodes)
 			}
 		case GeneSuspend:
-			if s.World != WorldGMP || !names[g.Node] {
+			if (s.World != WorldGMP && s.World != WorldRaft) || !names[g.Node] {
 				return fmt.Errorf("explore: gene %d: bad suspend target %q", i, g.Node)
 			}
 		case GeneUnplug:
 			if !names[g.Node] {
 				return fmt.Errorf("explore: gene %d: unknown node %q", i, g.Node)
+			}
+		case GeneRestart:
+			if s.World != WorldRaft || !names[g.Node] {
+				return fmt.Errorf("explore: gene %d: bad restart target %q", i, g.Node)
 			}
 		default:
 			return fmt.Errorf("explore: gene %d: unknown kind %v", i, g.Kind)
@@ -291,6 +344,12 @@ func (s Schedule) EndMS() int {
 	end := s.workloadEndMS()
 	if s.World == WorldGMP && s.Warmup*1000 > end {
 		end = s.Warmup * 1000
+	}
+	if s.World == WorldRaft {
+		// Past the settle window and the whole proposal epoch.
+		if pe := s.Warmup*1000 + raftProposals*raftProposalGapMS; pe > end {
+			end = pe
+		}
 	}
 	for _, g := range s.Genes {
 		at := g.AtMS + g.DurMS
@@ -340,18 +399,21 @@ func randSchedule(rng *dist.Source) Schedule {
 
 // horizonMS is the window gene activation times are drawn from.
 func (s Schedule) horizonMS() int {
-	if s.World == WorldGMP {
+	switch s.World {
+	case WorldGMP:
 		return s.Warmup*1000 + 120_000
+	case WorldRaft:
+		return s.Warmup*1000 + raftProposals*raftProposalGapMS + 30_000
 	}
 	return s.workloadEndMS() + 60_000
 }
 
 // workloadEndMS is when the scripted workload finishes (dial + stream for
-// TCP) — timeline events are scheduled at or after it. GMP worlds have no
-// scripted workload beyond gmp_start, so events can land during group
-// formation.
+// TCP) — timeline events are scheduled at or after it. GMP and raft worlds
+// have no scripted workload beyond their start command (raft proposals are
+// timeline events), so genes can land during group formation or elections.
 func (s Schedule) workloadEndMS() int {
-	if s.World == WorldGMP {
+	if s.World == WorldGMP || s.World == WorldRaft {
 		return 0
 	}
 	return 1000 + s.Warmup*streamSpacingMS
@@ -367,9 +429,12 @@ func randGene(rng *dist.Source, s Schedule) Gene {
 	if rng.Bernoulli(0.2) {
 		g.Prob = []float64{0.25, 0.5, 0.75}[rng.Intn(3)]
 	}
-	kindW := []float64{6, 1.5, 0, 0, 0.5} // fault, inject, partition, suspend, unplug
+	kindW := []float64{6, 1.5, 0, 0, 0.5} // fault, inject, partition, suspend, unplug, restart
 	if s.World == WorldGMP {
 		kindW = []float64{5, 1, 2, 2, 1}
+	}
+	if s.World == WorldRaft {
+		kindW = []float64{4, 0, 3, 2, 1, 3} // inject excluded: Byzantine
 	}
 	switch GeneKind(rng.Weighted(kindW) + 1) {
 	case GeneInject:
@@ -395,14 +460,21 @@ func randGene(rng *dist.Source, s Schedule) Gene {
 		g.Kind = GeneUnplug
 		g.Prob = 1
 		g.DurMS = quantize(15_000 + rng.Intn(120_000))
+	case GeneRestart:
+		g.Kind = GeneRestart
+		g.Prob = 1
+		g.DurMS = quantize(5_000 + rng.Intn(60_000))
 	default:
 		g.Kind = GeneFault
 		g.Dir = core.Direction(1 + rng.Intn(2))
 		g.Fault = geneFaults[rng.Intn(len(geneFaults))]
 		g.DurMS = quantize(5_000 + rng.Intn(90_000))
 		types := tcpTypes
-		if s.World == WorldGMP {
+		switch s.World {
+		case WorldGMP:
 			types = gmpTypes
+		case WorldRaft:
+			types = raftTypes
 		}
 		g.Type = types[rng.Intn(len(types))]
 		switch g.Fault {
@@ -501,6 +573,85 @@ func seedCorpus() []Schedule {
 		{World: WorldGMP, Nodes: 5, Warmup: 90, TailMS: 180_000, Genes: []Gene{
 			{Kind: GenePartition, AtMS: 95_000, DurMS: 90_000, Split: 3, Prob: 1},
 		}},
+	}
+}
+
+// RaftSeedCorpus returns the deterministic raft seed population for an
+// n-node cluster: a fault-free baseline plus probes of the regions raft
+// findings live in (partitions over the proposal epoch, restart/suspend
+// churn during elections, probabilistic loss). Raft schedules only enter a
+// run through Options.Seeds — randSchedule never draws them — so a run
+// without raft seeds consumes the exact random stream it always did.
+// bugs seeds the implementation bugs the worlds are built with (the
+// oracle self-tests); pass "" for real exploration.
+func RaftSeedCorpus(nodes int, bugs string) []Schedule {
+	base := Schedule{World: WorldRaft, Nodes: nodes, Warmup: 30, TailMS: 60_000, RaftBugs: bugs}
+	names := raftNodeNames(nodes)
+	churn := base
+	churn.Genes = []Gene{
+		{Kind: GeneRestart, Node: names[0], AtMS: 2_000, DurMS: 5_000, Prob: 1},
+		{Kind: GeneRestart, Node: names[1%nodes], AtMS: 4_000, DurMS: 5_000, Prob: 1},
+		{Kind: GeneRestart, Node: names[2%nodes], AtMS: 6_000, DurMS: 5_000, Prob: 1},
+		{Kind: GeneSuspend, Node: names[nodes-1], AtMS: 35_000, DurMS: 20_000, Prob: 1},
+	}
+	split := base
+	split.Genes = []Gene{
+		{Kind: GenePartition, AtMS: 32_000, DurMS: 30_000, Split: (nodes + 1) / 2, Prob: 1},
+	}
+	loss := base
+	loss.Genes = []Gene{
+		{Kind: GeneFault, Node: names[0], Dir: core.Receive, Fault: campaign.Drop, Type: "*", AtMS: 30_000, DurMS: 30_000, Prob: 0.5},
+		{Kind: GeneFault, Node: names[1%nodes], Dir: core.Send, Fault: campaign.Corrupt, Type: "APPEND_ENTRIES", AtMS: 30_000, DurMS: 30_000, Param: 9, Prob: 0.5},
+	}
+	return []Schedule{base, churn, split, loss}
+}
+
+// RaftStaleLeaderProbe returns a crafted 5-node schedule that isolates the
+// first elected leader in a two-node minority partition, then keeps client
+// proposals flowing to it while the majority elects a successor and
+// commits different entries. A correct stale leader appends the minority
+// proposal but can never commit it (no quorum reachable), so healing
+// truncates it away silently; a leader built with the ack-before-quorum
+// bug applies it immediately, and the same log index later applies with a
+// second identity on the majority side — the commit-safety oracle fires.
+// The Split=2 cut is what arms the probe: the deterministic first winner
+// is r2 (earliest election timer under the rig's fixed seed), and
+// names[:2] puts it on the quorum-less side. Violation-free against a
+// bug-free world, so it also serves as a corpus seed for
+// leader-in-minority interleavings.
+func RaftStaleLeaderProbe(bugs string) Schedule {
+	return Schedule{
+		World: WorldRaft, Nodes: 5, Warmup: 30, TailMS: 60_000, RaftBugs: bugs,
+		Genes: []Gene{
+			{Kind: GenePartition, AtMS: 32_000, DurMS: 20_000, Split: 2, Prob: 1},
+		},
+	}
+}
+
+// RaftDoubleVoteProbe returns a crafted 3-node schedule that lands a voter
+// restart inside the one window where vote durability matters: after the
+// voter has granted the first term-1 candidate, before the second term-1
+// candidate's REQUEST_VOTE arrives. r1 is made deaf to REQUEST_VOTE and
+// APPEND_ENTRIES during startup, so it never learns term 1 already has a
+// winner and campaigns for the same term off its own (later) election
+// timer; r3 — which granted r2 — restarts in the gap between the two
+// candidacies. A correct node re-reads its durable vote and refuses r1; a
+// node built with the skip-vote-persist bug comes back amnesiac, grants a
+// second term-1 vote, and both candidates reach quorum — the
+// election-safety oracle fires. Against a bug-free world the same schedule
+// is violation-free, so it doubles as a corpus seed probing tight
+// restart/election interleavings. The millisecond timings are pure
+// functions of the deterministic world clocks (r2's first election timeout
+// at ~5.13s, r1's at ~5.43s under the rig's fixed seed), so the probe is
+// exact, not probabilistic.
+func RaftDoubleVoteProbe(bugs string) Schedule {
+	return Schedule{
+		World: WorldRaft, Nodes: 3, Warmup: 30, TailMS: 60_000, RaftBugs: bugs,
+		Genes: []Gene{
+			{Kind: GeneFault, Node: "r1", Dir: core.Receive, Fault: campaign.Drop, Type: "REQUEST_VOTE", AtMS: 0, DurMS: 15_000, Prob: 1},
+			{Kind: GeneFault, Node: "r1", Dir: core.Receive, Fault: campaign.Drop, Type: "APPEND_ENTRIES", AtMS: 0, DurMS: 15_000, Prob: 1},
+			{Kind: GeneRestart, Node: "r3", AtMS: 5_150, DurMS: 200, Prob: 1},
+		},
 	}
 }
 

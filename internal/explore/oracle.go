@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +38,14 @@ const (
 	// ViolStuckTransition: a member is wedged mid view-transition after
 	// quiescence.
 	ViolStuckTransition = "stuck-transition"
+	// ViolElectionSafety: two raft nodes recorded winning the same term —
+	// at most one leader may ever be elected per term, under any
+	// non-Byzantine faultload, so this needs no quiescence window.
+	ViolElectionSafety = "election-safety"
+	// ViolCommitSafety: a raft log index was applied with two different
+	// entry identities (payload#term) somewhere in the cluster — a
+	// committed entry was lost or overwritten.
+	ViolCommitSafety = "commit-safety"
 	// ViolToolFault: the simulated world panicked; the isolation layer
 	// contained it. Deterministic tool-faults shrink into quarantine
 	// repros (Options.QuarantineDir) rather than passing conformance
@@ -187,8 +196,11 @@ func judge(s Schedule, r *conformance.Result) []Violation {
 		return []Violation{{Kind: ViolExecError, Detail: scrubVolatile(r.Err.Error())}}
 	}
 	endMS := int(time.Duration(r.Elapsed).Milliseconds())
-	if s.World == WorldTCP {
+	switch s.World {
+	case WorldTCP:
 		return judgeTCP(s, r, endMS)
+	case WorldRaft:
+		return judgeRaft(s, r)
 	}
 	return judgeGMP(s, r, endMS)
 }
@@ -261,6 +273,67 @@ func silenceMS(entries []trace.Entry, endMS int) int {
 		return endMS - int(time.Duration(entries[i].At).Milliseconds())
 	}
 	return endMS
+}
+
+// judgeRaft applies raft's two safety oracles to the full event history.
+// Unlike the TCP/GMP liveness oracles they hold unconditionally — a
+// partitioned, suspended, or lossy world may look stuck, but it may never
+// elect two leaders in one term or apply two identities at one index — so
+// no quiescence gate applies and findings can never be fault-masked.
+// Violations carry an empty Nodes field: the offending nodes shift as the
+// shrinker strips genes, and pinning them would stop ddmin cold.
+func judgeRaft(s Schedule, r *conformance.Result) []Violation {
+	var vs []Violation
+	winners := map[uint64]map[string]bool{} // term -> elected nodes
+	applied := map[uint64]map[string]bool{} // index -> applied identities
+	for _, e := range r.Trace {
+		switch e.Kind {
+		case "elected":
+			if winners[e.Seq] == nil {
+				winners[e.Seq] = map[string]bool{}
+			}
+			winners[e.Seq][e.Node] = true
+		case "apply":
+			if applied[e.Seq] == nil {
+				applied[e.Seq] = map[string]bool{}
+			}
+			applied[e.Seq][e.Note] = true
+		}
+	}
+	if term, names := firstConflict(winners); names != "" {
+		vs = append(vs, Violation{
+			Kind:   ViolElectionSafety,
+			Detail: fmt.Sprintf("term %d elected two leaders: %s", term, names),
+		})
+	}
+	if idx, ids := firstConflict(applied); ids != "" {
+		vs = append(vs, Violation{
+			Kind:   ViolCommitSafety,
+			Detail: fmt.Sprintf("log index %d applied with conflicting identities: %s", idx, ids),
+		})
+	}
+	return vs
+}
+
+// firstConflict returns the lowest key holding more than one member, with
+// the members sorted — deterministic detail text for dedup and reports.
+func firstConflict(m map[uint64]map[string]bool) (uint64, string) {
+	best := uint64(0)
+	found := false
+	for k, set := range m {
+		if len(set) > 1 && (!found || k < best) {
+			best, found = k, true
+		}
+	}
+	if !found {
+		return 0, ""
+	}
+	names := make([]string, 0, len(m[best]))
+	for n := range m[best] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return best, strings.Join(names, ", ")
 }
 
 // gmpProbe is one member's terminal state.

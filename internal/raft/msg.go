@@ -1,0 +1,243 @@
+// Package raft implements a Raft-style consensus layer — leader election,
+// log replication, a commit index, and term/vote persistence — as a stack
+// protocol layer over the simulated network. It is the scale workload the
+// roadmap's consensus item calls for: where the paper's TCP and GMP
+// subjects run on a handful of machines, this layer runs at 100–1000
+// simulated nodes under partitions, message loss/corruption/reorder,
+// suspend/resume churn, and per-node clock skew, so every execution mode
+// (conformance, explore, campaign, fleet) gains a workload whose failure
+// surface — split votes, lost commits, divergent logs — is exactly what
+// fault injection is for.
+//
+// Two historical-bug hooks mirror the repo's GMP treatment: each seeded bug
+// stays behind an option so the explore oracles can demonstrate catching it.
+//
+//   - Bugs.SkipVotePersist: the current-term vote is not persisted across a
+//     restart, so a rebooted node can vote twice in one term — the classic
+//     way two leaders share a term (election-safety violation).
+//   - Bugs.AckBeforeQuorum: the leader applies (acknowledges) an entry the
+//     moment it is appended locally, before a quorum replicates it — a
+//     minority-partitioned leader then acks entries a future leader
+//     overwrites (commit-safety violation).
+package raft
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pfi/internal/message"
+)
+
+// Message types.
+const (
+	TypeRequestVote = 1
+	TypeVoteResp    = 2
+	TypeAppend      = 3 // AppendEntries; empty Entries is the heartbeat
+	TypeAppendResp  = 4
+)
+
+var typeNames = map[uint8]string{
+	TypeRequestVote: "REQUEST_VOTE",
+	TypeVoteResp:    "VOTE_RESP",
+	TypeAppend:      "APPEND_ENTRIES",
+	TypeAppendResp:  "APPEND_RESP",
+}
+
+// TypeName renders a message type constant.
+func TypeName(t uint8) string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("TYPE(%d)", t)
+}
+
+// LogEntry is one replicated log slot. Index is implicit: the log is
+// 1-based, entry i of a node's log has index i+1.
+type LogEntry struct {
+	Term uint64
+	Data string
+}
+
+// Msg is one raft protocol message. Only the fields relevant to Type are
+// encoded on the wire.
+type Msg struct {
+	Type uint8
+	Term uint64
+	From string
+
+	// REQUEST_VOTE: the candidate's log position.
+	LastIndex uint64
+	LastTerm  uint64
+
+	// VOTE_RESP.
+	Granted bool
+
+	// APPEND_ENTRIES.
+	PrevIndex uint64
+	PrevTerm  uint64
+	Commit    uint64
+	Entries   []LogEntry
+
+	// APPEND_RESP: Success plus the follower's highest matching index (on
+	// failure, a backtrack hint for the leader's next probe).
+	Success bool
+	Match   uint64
+}
+
+// TypeName renders the message's type.
+func (m *Msg) TypeName() string { return TypeName(m.Type) }
+
+func putStr(w *message.Writer, s string) {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	w.U8(uint8(len(s)))
+	w.Bytes([]byte(s))
+}
+
+func getStr(r *message.Reader) (string, error) {
+	n := int(r.U8())
+	b := r.Take(n)
+	if err := r.Err(); err != nil {
+		return "", fmt.Errorf("raft: short string: %w", err)
+	}
+	return string(b), nil
+}
+
+func putBool(w *message.Writer, v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// checksum is FNV-1a over the frame body. Raft assumes a non-Byzantine
+// network: deployments run it over checksummed transports, so a corrupted
+// frame manifests as loss, which the protocol tolerates by design. Without
+// this, a single flipped bit in a VOTE_RESP would forge a vote and the
+// fault injector could "break" election safety in a correct implementation.
+func checksum(p []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range p {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// Encode serializes the message for the wire: a 4-byte checksum followed by
+// the frame body.
+func (m *Msg) Encode() *message.Message {
+	w := message.NewWriter(36 + len(m.From))
+	w.U32(0) // checksum placeholder
+	w.U8(m.Type).U64(m.Term)
+	putStr(w, m.From)
+	switch m.Type {
+	case TypeRequestVote:
+		w.U64(m.LastIndex).U64(m.LastTerm)
+	case TypeVoteResp:
+		putBool(w, m.Granted)
+	case TypeAppend:
+		w.U64(m.PrevIndex).U64(m.PrevTerm).U64(m.Commit)
+		w.U16(uint16(len(m.Entries)))
+		for _, e := range m.Entries {
+			w.U64(e.Term)
+			putStr(w, e.Data)
+		}
+	case TypeAppendResp:
+		putBool(w, m.Success)
+		w.U64(m.Match)
+	}
+	buf := w.Done()
+	sum := checksum(buf[4:])
+	buf[0], buf[1], buf[2], buf[3] = byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)
+	return message.New(buf)
+}
+
+// Decode parses a raft message without consuming the stack message.
+func Decode(sm *message.Message) (*Msg, error) {
+	return DecodeBytes(sm.Bytes())
+}
+
+// DecodeBytes parses a raft message from raw payload bytes, verifying the
+// leading checksum.
+func DecodeBytes(raw []byte) (*Msg, error) {
+	if len(raw) < 5 {
+		return nil, fmt.Errorf("raft: frame too short: %d bytes", len(raw))
+	}
+	r := message.NewReader(raw)
+	if sum := r.U32(); sum != checksum(raw[4:]) {
+		return nil, fmt.Errorf("raft: checksum mismatch")
+	}
+	m := &Msg{Type: r.U8(), Term: r.U64()}
+	var err error
+	if m.From, err = getStr(r); err != nil {
+		return nil, err
+	}
+	switch m.Type {
+	case TypeRequestVote:
+		m.LastIndex, m.LastTerm = r.U64(), r.U64()
+	case TypeVoteResp:
+		m.Granted = r.U8() != 0
+	case TypeAppend:
+		m.PrevIndex, m.PrevTerm, m.Commit = r.U64(), r.U64(), r.U64()
+		n := int(r.U16())
+		for i := 0; i < n; i++ {
+			term := r.U64()
+			data, err := getStr(r)
+			if err != nil {
+				return nil, err
+			}
+			m.Entries = append(m.Entries, LogEntry{Term: term, Data: data})
+		}
+	case TypeAppendResp:
+		m.Success = r.U8() != 0
+		m.Match = r.U64()
+	default:
+		return nil, fmt.Errorf("raft: unknown message type %d", m.Type)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("raft: short message: %w", err)
+	}
+	return m, nil
+}
+
+// Fields exposes the message to PFI filter scripts.
+func (m *Msg) Fields() map[string]string {
+	f := map[string]string{
+		"from": m.From,
+		"term": strconv.FormatUint(m.Term, 10),
+	}
+	switch m.Type {
+	case TypeRequestVote:
+		f["last_index"] = strconv.FormatUint(m.LastIndex, 10)
+		f["last_term"] = strconv.FormatUint(m.LastTerm, 10)
+	case TypeVoteResp:
+		f["granted"] = boolStr(m.Granted)
+	case TypeAppend:
+		f["prev_index"] = strconv.FormatUint(m.PrevIndex, 10)
+		f["prev_term"] = strconv.FormatUint(m.PrevTerm, 10)
+		f["commit"] = strconv.FormatUint(m.Commit, 10)
+		f["entries"] = strconv.Itoa(len(m.Entries))
+		if len(m.Entries) > 0 {
+			vals := make([]string, len(m.Entries))
+			for i, e := range m.Entries {
+				vals[i] = e.Data
+			}
+			f["data"] = strings.Join(vals, ",")
+		}
+	case TypeAppendResp:
+		f["success"] = boolStr(m.Success)
+		f["match"] = strconv.FormatUint(m.Match, 10)
+	}
+	return f
+}
+
+func boolStr(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

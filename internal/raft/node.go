@@ -1,0 +1,669 @@
+package raft
+
+import (
+	"fmt"
+	"time"
+
+	"pfi/internal/dist"
+	"pfi/internal/simtime"
+	"pfi/internal/trace"
+)
+
+// State is a node's role.
+type State uint8
+
+// Roles.
+const (
+	StateFollower State = iota
+	StateCandidate
+	StateLeader
+)
+
+// String renders the role.
+func (s State) String() string {
+	switch s {
+	case StateFollower:
+		return "follower"
+	case StateCandidate:
+		return "candidate"
+	case StateLeader:
+		return "leader"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Config holds the protocol timing parameters. Election timeouts are drawn
+// per-expiry from [ElectionMin, ElectionMax) out of the node's own seeded
+// source — that per-node randomness doubles as the clock-skew model: no two
+// nodes' timers fire in lockstep, exactly as free-running crystal clocks
+// would drift apart.
+type Config struct {
+	// Heartbeat spaces the leader's empty AppendEntries.
+	Heartbeat time.Duration
+	// ElectionMin/ElectionMax bound the randomized election timeout.
+	ElectionMin time.Duration
+	ElectionMax time.Duration
+	// MaxBatch caps entries per AppendEntries message (0: default 64).
+	MaxBatch int
+}
+
+// DefaultConfig returns timing that scales to 1000-node worlds: heartbeats
+// every second, elections after 3–6 s of leader silence.
+func DefaultConfig() Config {
+	return Config{
+		Heartbeat:   time.Second,
+		ElectionMin: 3 * time.Second,
+		ElectionMax: 6 * time.Second,
+		MaxBatch:    64,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Heartbeat <= 0 {
+		return fmt.Errorf("raft: non-positive heartbeat %v", c.Heartbeat)
+	}
+	if c.ElectionMin <= c.Heartbeat {
+		return fmt.Errorf("raft: election timeout min %v must exceed heartbeat %v", c.ElectionMin, c.Heartbeat)
+	}
+	if c.ElectionMax <= c.ElectionMin {
+		return fmt.Errorf("raft: election timeout max %v must exceed min %v", c.ElectionMax, c.ElectionMin)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("raft: negative max batch")
+	}
+	return nil
+}
+
+// Bugs selects deliberately broken behaviours for the seeded-bug oracle
+// tests. The zero value is the correct implementation.
+type Bugs struct {
+	// SkipVotePersist drops the votedFor record across a restart, letting a
+	// rebooted node grant a second vote in the same term.
+	SkipVotePersist bool
+	// AckBeforeQuorum makes the leader advance its commit index (and apply)
+	// the moment an entry is appended locally, before any replication.
+	AckBeforeQuorum bool
+}
+
+// SendFunc transmits one protocol message to a peer. The layer adapter
+// encodes onto the simulated network; in-memory property tests enqueue the
+// *Msg directly.
+type SendFunc func(dst string, m *Msg)
+
+// Node is one raft participant. Its core is transport-agnostic: it talks
+// to peers only through the SendFunc and to time only through the
+// scheduler, so the same state machine runs under netsim or in a bare
+// in-memory harness.
+type Node struct {
+	sched *simtime.Scheduler
+	id    string
+	peers []string // all node ids including self; shared, never mutated
+	cfg   Config
+	bugs  Bugs
+	log   *trace.Log
+	rng   *dist.Source
+	send  SendFunc
+
+	// Persistent state: survives Stop/Start (the simulated stable storage).
+	term     uint64
+	votedFor string
+	entries  []LogEntry
+
+	// Volatile state.
+	state   State
+	commit  uint64
+	applied uint64
+	leader  string          // latest known leader ("" if none)
+	votes   map[string]bool // candidate: granted votes
+	next    map[string]uint64
+	match   map[string]uint64
+
+	started   bool
+	suspended bool
+
+	electionEv  *simtime.Event
+	heartbeatEv *simtime.Event
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithConfig overrides the protocol timing.
+func WithConfig(c Config) Option {
+	return func(n *Node) { n.cfg = c }
+}
+
+// WithBugs enables seeded bugs.
+func WithBugs(b Bugs) Option {
+	return func(n *Node) { n.bugs = b }
+}
+
+// WithTrace mirrors protocol events into lg.
+func WithTrace(lg *trace.Log) Option {
+	return func(n *Node) { n.log = lg }
+}
+
+// WithRand sets the node's private randomness source (election jitter).
+func WithRand(src *dist.Source) Option {
+	return func(n *Node) { n.rng = src }
+}
+
+// NewNode builds a raft node. peers must list every node in the cluster,
+// including this one.
+func NewNode(sched *simtime.Scheduler, id string, peers []string, send SendFunc, opts ...Option) (*Node, error) {
+	n := &Node{
+		sched: sched,
+		id:    id,
+		peers: peers,
+		cfg:   DefaultConfig(),
+		log:   trace.NewLog(),
+		send:  send,
+	}
+	found := false
+	for _, p := range peers {
+		if p == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("raft: peer list does not include self %q", id)
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	if err := n.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n.rng == nil {
+		n.rng = dist.NewSource(1).Split("raft:" + id)
+	}
+	return n, nil
+}
+
+// MustNewNode is NewNode for rig setup code.
+func MustNewNode(sched *simtime.Scheduler, id string, peers []string, send SendFunc, opts ...Option) *Node {
+	n, err := NewNode(sched, id, peers, send, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// --- accessors -----------------------------------------------------------
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.id }
+
+// State returns the node's role.
+func (n *Node) State() State { return n.state }
+
+// Term returns the current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// Started reports whether the node is running.
+func (n *Node) Started() bool { return n.started }
+
+// Suspended reports whether the node is suspended.
+func (n *Node) Suspended() bool { return n.suspended }
+
+// IsLeader reports whether this node currently leads.
+func (n *Node) IsLeader() bool { return n.started && n.state == StateLeader }
+
+// Leader returns the node's current leader hint ("" if unknown).
+func (n *Node) Leader() string { return n.leader }
+
+// Commit returns the commit index.
+func (n *Node) Commit() uint64 { return n.commit }
+
+// Applied returns the apply index.
+func (n *Node) Applied() uint64 { return n.applied }
+
+// LastIndex returns the index of the last log entry (0 for an empty log).
+func (n *Node) LastIndex() uint64 { return uint64(len(n.entries)) }
+
+// EntryAt returns the log entry at a 1-based index.
+func (n *Node) EntryAt(idx uint64) (LogEntry, bool) {
+	if idx < 1 || idx > n.LastIndex() {
+		return LogEntry{}, false
+	}
+	return n.entries[idx-1], true
+}
+
+// Events returns the protocol event log.
+func (n *Node) Events() *trace.Log { return n.log }
+
+func (n *Node) lastTerm() uint64 {
+	if len(n.entries) == 0 {
+		return 0
+	}
+	return n.entries[len(n.entries)-1].Term
+}
+
+func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
+
+func (n *Node) logEvent(kind, typ string, seq uint64, note string) {
+	n.log.Addf(n.sched.Now(), n.id, kind, typ, seq, note)
+}
+
+// --- lifecycle -----------------------------------------------------------
+
+// Start boots (or reboots) the node as a follower. Term, vote, and log
+// survive restarts — the node's stable storage — except that the seeded
+// SkipVotePersist bug forgets the vote, which is exactly what lets a
+// rebooted node vote twice in one term.
+func (n *Node) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.suspended = false
+	n.state = StateFollower
+	n.leader = ""
+	n.commit, n.applied = 0, 0
+	n.votes, n.next, n.match = nil, nil, nil
+	if n.bugs.SkipVotePersist {
+		n.votedFor = ""
+	}
+	n.logEvent("start", "", n.term, "")
+	n.armElection()
+}
+
+// Stop halts the node entirely (a process crash as far as the protocol is
+// concerned: timers cancelled, traffic ignored, volatile state dropped).
+func (n *Node) Stop() {
+	if !n.started {
+		return
+	}
+	n.started = false
+	n.suspended = false
+	n.cancelElection()
+	n.cancelHeartbeat()
+	n.state = StateFollower
+	n.leader = ""
+	n.logEvent("stop", "", n.term, "")
+}
+
+// Suspend models <Ctrl>-Z churn: the process stops running while virtual
+// time (and the rest of the cluster) marches on; expired timers fire right
+// after Resume.
+func (n *Node) Suspend() {
+	if !n.started || n.suspended {
+		return
+	}
+	n.suspended = true
+	n.logEvent("suspend", "", n.term, "")
+}
+
+// Resume reverses Suspend.
+func (n *Node) Resume() {
+	if !n.started || !n.suspended {
+		return
+	}
+	n.suspended = false
+	n.logEvent("resume", "", n.term, "")
+}
+
+// --- timers --------------------------------------------------------------
+
+const suspendDefer = 50 * time.Millisecond
+
+func (n *Node) armElection() {
+	n.cancelElection()
+	span := int(n.cfg.ElectionMax - n.cfg.ElectionMin)
+	d := n.cfg.ElectionMin + time.Duration(n.rng.Intn(span))
+	n.electionEv = n.sched.After(d, "raft-election "+n.id, n.onElectionTimeout)
+}
+
+func (n *Node) cancelElection() {
+	if n.electionEv != nil {
+		n.sched.Cancel(n.electionEv)
+		n.electionEv = nil
+	}
+}
+
+func (n *Node) armHeartbeat() {
+	n.cancelHeartbeat()
+	n.heartbeatEv = n.sched.After(n.cfg.Heartbeat, "raft-heartbeat "+n.id, n.onHeartbeatTick)
+}
+
+func (n *Node) cancelHeartbeat() {
+	if n.heartbeatEv != nil {
+		n.sched.Cancel(n.heartbeatEv)
+		n.heartbeatEv = nil
+	}
+}
+
+func (n *Node) onElectionTimeout() {
+	n.electionEv = nil
+	if !n.started {
+		return
+	}
+	if n.suspended {
+		// The kernel keeps expiring timers while the process is stopped;
+		// the handler effectively runs when the process resumes.
+		n.electionEv = n.sched.After(suspendDefer, "raft-election-deferred "+n.id, n.onElectionTimeout)
+		return
+	}
+	if n.state == StateLeader {
+		return
+	}
+	n.startElection()
+}
+
+func (n *Node) onHeartbeatTick() {
+	n.heartbeatEv = nil
+	if !n.started || n.state != StateLeader {
+		return
+	}
+	if n.suspended {
+		n.heartbeatEv = n.sched.After(suspendDefer, "raft-heartbeat-deferred "+n.id, n.onHeartbeatTick)
+		return
+	}
+	n.broadcastAppend()
+	n.armHeartbeat()
+}
+
+// --- elections -----------------------------------------------------------
+
+func (n *Node) startElection() {
+	n.term++
+	n.state = StateCandidate
+	n.votedFor = n.id
+	n.leader = ""
+	n.votes = map[string]bool{n.id: true}
+	n.logEvent("candidate", "REQUEST_VOTE", n.term, "")
+	li, lt := n.LastIndex(), n.lastTerm()
+	for _, p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		n.send(p, &Msg{Type: TypeRequestVote, Term: n.term, From: n.id, LastIndex: li, LastTerm: lt})
+	}
+	n.armElection()
+	n.maybeWin()
+}
+
+// stepDown adopts a higher term (or surrenders leadership) and reverts to
+// follower.
+func (n *Node) stepDown(term uint64) {
+	if term > n.term {
+		n.term = term
+		n.votedFor = ""
+	}
+	if n.state == StateLeader {
+		n.cancelHeartbeat()
+		n.armElection()
+	}
+	n.state = StateFollower
+	n.votes, n.next, n.match = nil, nil, nil
+}
+
+func (n *Node) handleRequestVote(m *Msg) {
+	if m.Term > n.term {
+		n.stepDown(m.Term)
+	}
+	granted := false
+	if m.Term == n.term && (n.votedFor == "" || n.votedFor == m.From) && n.logUpToDate(m.LastTerm, m.LastIndex) {
+		granted = true
+		n.votedFor = m.From
+		n.armElection()
+	}
+	n.send(m.From, &Msg{Type: TypeVoteResp, Term: n.term, From: n.id, Granted: granted})
+}
+
+// logUpToDate implements the §5.4.1 voting restriction.
+func (n *Node) logUpToDate(lastTerm, lastIndex uint64) bool {
+	myTerm := n.lastTerm()
+	if lastTerm != myTerm {
+		return lastTerm > myTerm
+	}
+	return lastIndex >= n.LastIndex()
+}
+
+func (n *Node) handleVoteResp(m *Msg) {
+	if m.Term > n.term {
+		n.stepDown(m.Term)
+		return
+	}
+	if n.state != StateCandidate || m.Term != n.term || !m.Granted {
+		return
+	}
+	n.votes[m.From] = true
+	n.maybeWin()
+}
+
+func (n *Node) maybeWin() {
+	if n.state != StateCandidate || len(n.votes) < n.quorum() {
+		return
+	}
+	n.state = StateLeader
+	n.leader = n.id
+	n.votes = nil
+	n.next = make(map[string]uint64, len(n.peers)-1)
+	n.match = make(map[string]uint64, len(n.peers)-1)
+	ni := n.LastIndex() + 1
+	for _, p := range n.peers {
+		if p != n.id {
+			n.next[p] = ni
+		}
+	}
+	// Seq carries the term: the election-safety oracle groups these events
+	// by term and flags any term elected on two distinct nodes.
+	n.logEvent("elected", "LEADER", n.term, fmt.Sprintf("last=%d commit=%d", n.LastIndex(), n.commit))
+	n.cancelElection()
+	n.advanceCommit() // a single-node cluster commits immediately
+	n.broadcastAppend()
+	n.armHeartbeat()
+}
+
+// --- replication ---------------------------------------------------------
+
+// Propose appends a client command at the leader and starts replicating it.
+// It reports the assigned index and false when this node cannot accept
+// proposals (not started, suspended, or not the leader).
+func (n *Node) Propose(data string) (uint64, bool) {
+	if !n.started || n.suspended || n.state != StateLeader {
+		return 0, false
+	}
+	n.entries = append(n.entries, LogEntry{Term: n.term, Data: data})
+	idx := n.LastIndex()
+	n.logEvent("propose", "ENTRY", idx, data)
+	if n.bugs.AckBeforeQuorum {
+		// The seeded commit-safety bug: acknowledge (apply) before any
+		// follower has the entry.
+		n.commit = idx
+		n.applyCommitted()
+	}
+	n.advanceCommit()
+	n.broadcastAppend()
+	return idx, true
+}
+
+func (n *Node) maxBatch() int {
+	if n.cfg.MaxBatch <= 0 {
+		return 64
+	}
+	return n.cfg.MaxBatch
+}
+
+func (n *Node) broadcastAppend() {
+	for _, p := range n.peers {
+		if p != n.id {
+			n.sendAppend(p)
+		}
+	}
+}
+
+func (n *Node) sendAppend(p string) {
+	ni := n.next[p]
+	if ni < 1 {
+		ni = 1
+	}
+	prevIdx := ni - 1
+	var prevTerm uint64
+	if prevIdx >= 1 {
+		prevTerm = n.entries[prevIdx-1].Term
+	}
+	var ents []LogEntry
+	if ni <= n.LastIndex() {
+		tail := n.entries[ni-1:]
+		if len(tail) > n.maxBatch() {
+			tail = tail[:n.maxBatch()]
+		}
+		// Copy: the in-memory transport hands the *Msg across nodes, and the
+		// leader's log may be truncated while the message is in flight.
+		ents = append([]LogEntry(nil), tail...)
+	}
+	n.send(p, &Msg{
+		Type: TypeAppend, Term: n.term, From: n.id,
+		PrevIndex: prevIdx, PrevTerm: prevTerm, Commit: n.commit, Entries: ents,
+	})
+}
+
+func (n *Node) handleAppend(m *Msg) {
+	if m.Term < n.term {
+		n.send(m.From, &Msg{Type: TypeAppendResp, Term: n.term, From: n.id, Success: false})
+		return
+	}
+	// Equal or higher term: the sender is the legitimate leader of that
+	// term; candidates and (buggy twin-)leaders revert to follower.
+	n.stepDown(m.Term)
+	n.leader = m.From
+	n.armElection()
+	last := n.LastIndex()
+	if m.PrevIndex > last || (m.PrevIndex >= 1 && n.entries[m.PrevIndex-1].Term != m.PrevTerm) {
+		hint := m.PrevIndex
+		if last < hint {
+			hint = last
+		}
+		if hint > 0 {
+			hint--
+		}
+		n.send(m.From, &Msg{Type: TypeAppendResp, Term: n.term, From: n.id, Success: false, Match: hint})
+		return
+	}
+	idx := m.PrevIndex
+	for _, e := range m.Entries {
+		idx++
+		if idx <= n.LastIndex() {
+			if n.entries[idx-1].Term == e.Term {
+				continue // already have it
+			}
+			// Conflict: truncate our divergent suffix. If committed entries
+			// die here the commit-safety oracle sees the divergent applies.
+			n.entries = n.entries[:idx-1]
+		}
+		n.entries = append(n.entries, e)
+	}
+	lastNew := m.PrevIndex + uint64(len(m.Entries))
+	if m.Commit > n.commit {
+		c := m.Commit
+		if c > lastNew {
+			c = lastNew
+		}
+		if c > n.commit {
+			n.commit = c
+			n.applyCommitted()
+		}
+	}
+	n.send(m.From, &Msg{Type: TypeAppendResp, Term: n.term, From: n.id, Success: true, Match: lastNew})
+}
+
+func (n *Node) handleAppendResp(m *Msg) {
+	if m.Term > n.term {
+		n.stepDown(m.Term)
+		return
+	}
+	if n.state != StateLeader || m.Term != n.term {
+		return
+	}
+	if m.Success {
+		if m.Match > n.match[m.From] {
+			n.match[m.From] = m.Match
+		}
+		if m.Match+1 > n.next[m.From] {
+			n.next[m.From] = m.Match + 1
+		}
+		n.advanceCommit()
+		if n.next[m.From] <= n.LastIndex() {
+			n.sendAppend(m.From) // keep streaming the backlog
+		}
+		return
+	}
+	// Rejected: back up to the follower's hint and re-probe.
+	ni := m.Match + 1
+	if cur := n.next[m.From]; ni >= cur && cur > 1 {
+		ni = cur - 1
+	}
+	if ni < 1 {
+		ni = 1
+	}
+	n.next[m.From] = ni
+	n.sendAppend(m.From)
+}
+
+// advanceCommit moves the leader's commit index to the highest
+// current-term index a quorum has replicated (§5.4.2: older-term entries
+// commit only transitively).
+func (n *Node) advanceCommit() {
+	if n.state != StateLeader {
+		return
+	}
+	for idx := n.commit + 1; idx <= n.LastIndex(); idx++ {
+		if n.entries[idx-1].Term != n.term {
+			continue
+		}
+		cnt := 1 // self
+		for _, p := range n.peers {
+			if p != n.id && n.match[p] >= idx {
+				cnt++
+			}
+		}
+		if cnt < n.quorum() {
+			break // match indexes are monotone; higher slots can't have more
+		}
+		n.commit = idx
+	}
+	n.applyCommitted()
+}
+
+// applyCommitted applies every newly committed entry, logging one "apply"
+// event per index. Seq is the index and the note identifies the entry
+// (data plus the term that wrote it) — the commit-safety oracle flags any
+// index applied with two different identities anywhere in the cluster's
+// history.
+func (n *Node) applyCommitted() {
+	for n.applied < n.commit && n.applied < n.LastIndex() {
+		n.applied++
+		e := n.entries[n.applied-1]
+		n.logEvent("apply", "ENTRY", n.applied, fmt.Sprintf("%s#%d", e.Data, e.Term))
+	}
+}
+
+// --- dispatch ------------------------------------------------------------
+
+// Handle processes one inbound protocol message. Stopped and suspended
+// nodes drop traffic on the floor.
+func (n *Node) Handle(m *Msg) {
+	if !n.started || n.suspended || m.From == n.id {
+		return
+	}
+	switch m.Type {
+	case TypeRequestVote:
+		n.handleRequestVote(m)
+	case TypeVoteResp:
+		n.handleVoteResp(m)
+	case TypeAppend:
+		n.handleAppend(m)
+	case TypeAppendResp:
+		n.handleAppendResp(m)
+	}
+}
+
+// DumpState renders a one-line diagnostic summary.
+func (n *Node) DumpState() string {
+	return fmt.Sprintf("%s %s term=%d commit=%d applied=%d last=%d leader=%q",
+		n.id, n.state, n.term, n.commit, n.applied, n.LastIndex(), n.leader)
+}

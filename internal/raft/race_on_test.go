@@ -1,0 +1,7 @@
+//go:build race
+
+package raft
+
+// raceEnabled scales down property-test trial counts under the race
+// detector.
+const raceEnabled = true

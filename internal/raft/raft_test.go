@@ -1,0 +1,324 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pfi/internal/dist"
+	"pfi/internal/simtime"
+)
+
+// memCluster is the pure in-memory harness: nodes exchange *Msg values
+// through the scheduler with per-message delays drawn from one seeded
+// source. No netsim, no encoding — just the consensus core and time.
+type memCluster struct {
+	sched    *simtime.Scheduler
+	src      *dist.Source
+	names    []string
+	nodes    map[string]*Node
+	maxDelay time.Duration
+	drop     func(from, to string) bool // nil: deliver everything
+}
+
+func newMemCluster(t testing.TB, n int, seed int64, maxDelay time.Duration, opts ...Option) *memCluster {
+	c := &memCluster{
+		sched:    simtime.NewScheduler(),
+		src:      dist.NewSource(seed),
+		nodes:    make(map[string]*Node, n),
+		maxDelay: maxDelay,
+	}
+	for i := 0; i < n; i++ {
+		c.names = append(c.names, fmt.Sprintf("m%d", i+1))
+	}
+	for _, name := range c.names {
+		name := name
+		send := func(dst string, m *Msg) { c.deliver(name, dst, m) }
+		perNode := []Option{WithRand(c.src.Split("node:" + name))}
+		node, err := NewNode(c.sched, name, c.names, send, append(perNode, opts...)...)
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", name, err)
+		}
+		c.nodes[name] = node
+	}
+	return c
+}
+
+func (c *memCluster) deliver(from, to string, m *Msg) {
+	if c.drop != nil && c.drop(from, to) {
+		return
+	}
+	delay := time.Millisecond
+	if c.maxDelay > time.Millisecond {
+		delay += time.Duration(c.src.Intn(int(c.maxDelay - time.Millisecond)))
+	}
+	dst := c.nodes[to]
+	c.sched.After(delay, "deliver "+from+">"+to, func() { dst.Handle(m) })
+}
+
+func (c *memCluster) startAll() {
+	for _, n := range c.names {
+		c.nodes[n].Start()
+	}
+}
+
+func (c *memCluster) leaders() []*Node {
+	var out []*Node
+	for _, n := range c.names {
+		if c.nodes[n].IsLeader() {
+			out = append(out, c.nodes[n])
+		}
+	}
+	return out
+}
+
+// runUntilLeader advances time until exactly one leader exists (and no
+// election is in flight), failing after limit.
+func (c *memCluster) runUntilLeader(t *testing.T, limit time.Duration) *Node {
+	t.Helper()
+	deadline := c.sched.Now().Add(limit)
+	for c.sched.Now() < deadline {
+		c.sched.RunFor(100 * time.Millisecond)
+		if ls := c.leaders(); len(ls) == 1 {
+			return ls[0]
+		}
+	}
+	t.Fatalf("no single leader within %v", limit)
+	return nil
+}
+
+func TestSingleNodeCommits(t *testing.T) {
+	c := newMemCluster(t, 1, 1, 5*time.Millisecond)
+	c.startAll()
+	n := c.nodes["m1"]
+	c.sched.RunFor(10 * time.Second)
+	if !n.IsLeader() {
+		t.Fatalf("singleton did not elect itself: %s", n.DumpState())
+	}
+	if _, ok := n.Propose("a"); !ok {
+		t.Fatal("propose rejected")
+	}
+	c.sched.RunFor(time.Second)
+	if n.Applied() != 1 {
+		t.Fatalf("applied = %d, want 1", n.Applied())
+	}
+}
+
+func TestElectionAndReplication(t *testing.T) {
+	c := newMemCluster(t, 5, 42, 5*time.Millisecond)
+	c.startAll()
+	leader := c.runUntilLeader(t, 30*time.Second)
+	for i := 0; i < 5; i++ {
+		if _, ok := leader.Propose(fmt.Sprintf("v%d", i)); !ok {
+			t.Fatalf("propose %d rejected", i)
+		}
+		c.sched.RunFor(200 * time.Millisecond)
+	}
+	c.sched.RunFor(5 * time.Second)
+	for _, name := range c.names {
+		n := c.nodes[name]
+		if n.Applied() != 5 {
+			t.Fatalf("%s applied %d/5: %s", name, n.Applied(), n.DumpState())
+		}
+		for idx := uint64(1); idx <= 5; idx++ {
+			e, ok := n.EntryAt(idx)
+			if !ok || e.Data != fmt.Sprintf("v%d", idx-1) {
+				t.Fatalf("%s entry %d = %+v", name, idx, e)
+			}
+		}
+	}
+}
+
+func TestLeaderKillFailover(t *testing.T) {
+	c := newMemCluster(t, 5, 7, 5*time.Millisecond)
+	c.startAll()
+	old := c.runUntilLeader(t, 30*time.Second)
+	old.Propose("before")
+	c.sched.RunFor(2 * time.Second)
+	old.Stop()
+	next := c.runUntilLeader(t, 30*time.Second)
+	if next == old {
+		t.Fatal("stopped leader still leads")
+	}
+	if next.Term() <= old.Term() {
+		t.Fatalf("new leader term %d not past old %d", next.Term(), old.Term())
+	}
+	if _, ok := next.Propose("after"); !ok {
+		t.Fatal("new leader rejected proposal")
+	}
+	c.sched.RunFor(5 * time.Second)
+	if next.Applied() != 2 {
+		t.Fatalf("new leader applied %d/2", next.Applied())
+	}
+	// The rebooted old leader re-joins as a follower and catches up; its
+	// term, vote, and log survived the crash (stable storage).
+	old.Start()
+	c.sched.RunFor(10 * time.Second)
+	if old.IsLeader() && next.IsLeader() {
+		t.Fatal("two leaders after rejoin")
+	}
+	if old.Applied() != 2 {
+		t.Fatalf("rejoined node applied %d/2: %s", old.Applied(), old.DumpState())
+	}
+}
+
+func TestRestartKeepsPersistentState(t *testing.T) {
+	c := newMemCluster(t, 3, 3, 5*time.Millisecond)
+	c.startAll()
+	leader := c.runUntilLeader(t, 30*time.Second)
+	leader.Propose("x")
+	c.sched.RunFor(2 * time.Second)
+	var follower *Node
+	for _, name := range c.names {
+		if n := c.nodes[name]; n != leader {
+			follower = n
+			break
+		}
+	}
+	term, vote, last := follower.Term(), follower.votedFor, follower.LastIndex()
+	if last == 0 {
+		t.Fatal("follower has empty log")
+	}
+	follower.Stop()
+	if follower.Applied() != 1 {
+		// applied is volatile but survives until restart
+		t.Logf("note: applied %d at stop", follower.Applied())
+	}
+	follower.Start()
+	if follower.Term() != term || follower.votedFor != vote || follower.LastIndex() != last {
+		t.Fatalf("persistent state lost: term %d->%d vote %q->%q last %d->%d",
+			term, follower.Term(), vote, follower.votedFor, last, follower.LastIndex())
+	}
+	if follower.Commit() != 0 || follower.Applied() != 0 {
+		t.Fatalf("volatile state survived restart: commit=%d applied=%d", follower.Commit(), follower.Applied())
+	}
+	c.sched.RunFor(5 * time.Second)
+	if follower.Applied() != 1 {
+		t.Fatalf("restarted follower did not re-apply: %s", follower.DumpState())
+	}
+}
+
+// TestSkipVotePersistDoubleVote pins the seeded election-safety bug: with
+// the bug a rebooted node grants a second vote in the same term; without
+// it the persisted vote is honored.
+func TestSkipVotePersistDoubleVote(t *testing.T) {
+	for _, buggy := range []bool{false, true} {
+		var granted []bool
+		sched := simtime.NewScheduler()
+		send := func(dst string, m *Msg) {
+			if m.Type == TypeVoteResp {
+				granted = append(granted, m.Granted)
+			}
+		}
+		n := MustNewNode(sched, "c", []string{"a", "b", "c"}, send,
+			WithBugs(Bugs{SkipVotePersist: buggy}))
+		n.Start()
+		n.Handle(&Msg{Type: TypeRequestVote, Term: 5, From: "a", LastIndex: 0, LastTerm: 0})
+		n.Stop()
+		n.Start()
+		n.Handle(&Msg{Type: TypeRequestVote, Term: 5, From: "b", LastIndex: 0, LastTerm: 0})
+		if len(granted) != 2 || !granted[0] {
+			t.Fatalf("buggy=%v: unexpected responses %v", buggy, granted)
+		}
+		if granted[1] != buggy {
+			t.Fatalf("buggy=%v: second vote granted=%v", buggy, granted[1])
+		}
+	}
+}
+
+// TestAckBeforeQuorumAppliesEarly pins the seeded commit-safety bug: the
+// buggy leader applies a proposal no follower has seen.
+func TestAckBeforeQuorumAppliesEarly(t *testing.T) {
+	for _, buggy := range []bool{false, true} {
+		c := newMemCluster(t, 3, 11, 5*time.Millisecond, WithBugs(Bugs{AckBeforeQuorum: buggy}))
+		c.startAll()
+		leader := c.runUntilLeader(t, 30*time.Second)
+		// Cut the leader off from everyone before it proposes.
+		c.drop = func(from, to string) bool { return from == leader.ID() || to == leader.ID() }
+		leader.Propose("ghost")
+		c.sched.RunFor(100 * time.Millisecond)
+		if got := leader.Applied() == 1; got != buggy {
+			t.Fatalf("buggy=%v: leader applied unreplicated entry = %v (%s)", buggy, got, leader.DumpState())
+		}
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	msgs := []*Msg{
+		{Type: TypeRequestVote, Term: 7, From: "r12", LastIndex: 9, LastTerm: 6},
+		{Type: TypeVoteResp, Term: 7, From: "r3", Granted: true},
+		{Type: TypeVoteResp, Term: 8, From: "r3"},
+		{Type: TypeAppend, Term: 9, From: "r1", PrevIndex: 4, PrevTerm: 8, Commit: 3,
+			Entries: []LogEntry{{Term: 9, Data: "alpha"}, {Term: 9, Data: ""}}},
+		{Type: TypeAppend, Term: 2, From: "r1000"},
+		{Type: TypeAppendResp, Term: 9, From: "r7", Success: true, Match: 6},
+	}
+	for _, m := range msgs {
+		got, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", m.TypeName(), err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", m) {
+			t.Fatalf("roundtrip mismatch:\n in %+v\nout %+v", m, got)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	m := &Msg{Type: TypeVoteResp, Term: 7, From: "r3", Granted: false}
+	sm := m.Encode()
+	raw := sm.Bytes()
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, err := DecodeBytes(bad); err == nil {
+			t.Fatalf("flipped byte %d went undetected", i)
+		}
+	}
+}
+
+// TestSnapshotRestoreReplaysIdentically forks a busy cluster mid-run and
+// checks the replayed suffix is byte-identical: same states, same event
+// log. This is the O(delta) fuzzing contract at the node level.
+func TestSnapshotRestoreReplaysIdentically(t *testing.T) {
+	c := newMemCluster(t, 5, 99, 500*time.Millisecond)
+	c.startAll()
+	c.sched.RunFor(8 * time.Second)
+	if ls := c.leaders(); len(ls) == 1 {
+		ls[0].Propose("mid")
+	}
+	c.sched.RunFor(2 * time.Second)
+
+	schedSt := c.sched.SnapshotState()
+	srcMark := c.src.Mark()
+	nodeSt := make(map[string]any, len(c.names))
+	logMarks := make(map[string]any, len(c.names))
+	for _, n := range c.names {
+		nodeSt[n] = c.nodes[n].SnapshotState()
+		logMarks[n] = c.nodes[n].Events().SnapshotState()
+	}
+
+	record := func() string {
+		c.sched.RunFor(20 * time.Second)
+		out := ""
+		for _, n := range c.names {
+			node := c.nodes[n]
+			out += node.DumpState() + "\n"
+			for _, e := range node.Events().Entries() {
+				out += e.String() + "\n"
+			}
+		}
+		return out
+	}
+	first := record()
+	c.sched.RestoreState(schedSt)
+	c.src.Rewind(srcMark)
+	for _, n := range c.names {
+		c.nodes[n].Events().RestoreState(logMarks[n])
+		c.nodes[n].RestoreState(nodeSt[n])
+	}
+	second := record()
+	if first != second {
+		t.Fatalf("fork replay diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}

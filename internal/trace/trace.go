@@ -38,11 +38,24 @@ func (e Entry) String() string {
 	return b.String()
 }
 
+// Entry storage is segmented: the log holds fixed-size blocks and appends
+// into the last one, so growing never re-copies earlier entries. A
+// 1000-node consensus run logs hundreds of thousands of entries; with a
+// flat slice, append-regrowth re-copies the whole history O(log n) times
+// and the copies dominate the run's budget. Blocks also keep the
+// truncate-to-mark snapshot contract trivial: dropping back to a mark
+// releases whole tail blocks and shortens the last kept one in place.
+const (
+	blockShift = 12 // 4096 entries per block
+	blockSize  = 1 << blockShift
+)
+
 // Log is an append-only event log. It is not safe for concurrent use; the
 // simulation is single-threaded.
 type Log struct {
-	entries []Entry
-	sink    io.Writer // optional live tee
+	blocks [][]Entry // every block but the last is full
+	n      int       // total entries across blocks
+	sink   io.Writer // optional live tee
 }
 
 // NewLog returns an empty log.
@@ -53,7 +66,12 @@ func (l *Log) Tee(w io.Writer) { l.sink = w }
 
 // Add appends an entry.
 func (l *Log) Add(e Entry) {
-	l.entries = append(l.entries, e)
+	if k := len(l.blocks); k == 0 || len(l.blocks[k-1]) == blockSize {
+		l.blocks = append(l.blocks, make([]Entry, 0, blockSize))
+	}
+	k := len(l.blocks) - 1
+	l.blocks[k] = append(l.blocks[k], e)
+	l.n++
 	if l.sink != nil {
 		fmt.Fprintln(l.sink, e)
 	}
@@ -65,18 +83,36 @@ func (l *Log) Addf(at simtime.Time, node, kind, typ string, seq uint64, note str
 }
 
 // Len reports the entry count.
-func (l *Log) Len() int { return len(l.entries) }
+func (l *Log) Len() int { return l.n }
 
 // SnapshotState captures the log for the snapshot registry. The log is
 // append-only, so its whole mutable state is its length.
-func (l *Log) SnapshotState() any { return len(l.entries) }
+func (l *Log) SnapshotState() any { return l.n }
 
 // RestoreState truncates the log back to a length captured by
 // SnapshotState. Entries appended since the snapshot are discarded.
 func (l *Log) RestoreState(state any) {
 	n := state.(int)
-	if n <= len(l.entries) {
-		l.entries = l.entries[:n]
+	if n > l.n {
+		return
+	}
+	keep := (n + blockSize - 1) >> blockShift
+	for i := keep; i < len(l.blocks); i++ {
+		l.blocks[i] = nil
+	}
+	l.blocks = l.blocks[:keep]
+	if keep > 0 {
+		l.blocks[keep-1] = l.blocks[keep-1][:n-(keep-1)<<blockShift]
+	}
+	l.n = n
+}
+
+// each visits every entry in order.
+func (l *Log) each(fn func(e Entry)) {
+	for _, b := range l.blocks {
+		for i := range b {
+			fn(b[i])
+		}
 	}
 }
 
@@ -84,30 +120,37 @@ func (l *Log) RestoreState(state any) {
 // cannot corrupt the log; callers that want to avoid the copy can use
 // AppendEntries with a reusable buffer.
 func (l *Log) Entries() []Entry {
-	return append([]Entry(nil), l.entries...)
+	out := make([]Entry, 0, l.n)
+	for _, b := range l.blocks {
+		out = append(out, b...)
+	}
+	return out
 }
 
 // AppendEntries appends every logged entry to dst and returns the extended
 // slice — the allocation-conscious sibling of Entries.
 func (l *Log) AppendEntries(dst []Entry) []Entry {
-	return append(dst, l.entries...)
+	for _, b := range l.blocks {
+		dst = append(dst, b...)
+	}
+	return dst
 }
 
 // Filter returns the entries matching all non-empty criteria.
 func (l *Log) Filter(node, kind, typ string) []Entry {
 	var out []Entry
-	for _, e := range l.entries {
+	l.each(func(e Entry) {
 		if node != "" && e.Node != node {
-			continue
+			return
 		}
 		if kind != "" && e.Kind != kind {
-			continue
+			return
 		}
 		if typ != "" && e.Type != typ {
-			continue
+			return
 		}
 		out = append(out, e)
-	}
+	})
 	return out
 }
 
@@ -123,9 +166,7 @@ func (l *Log) Times(node, kind, typ string) []simtime.Time {
 
 // Dump writes the whole log to w.
 func (l *Log) Dump(w io.Writer) {
-	for _, e := range l.entries {
-		fmt.Fprintln(w, e)
-	}
+	l.each(func(e Entry) { fmt.Fprintln(w, e) })
 }
 
 // Intervals returns the successive gaps between timestamps.
