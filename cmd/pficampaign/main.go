@@ -31,6 +31,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,7 @@ import (
 	"pfi/internal/fleet"
 	"pfi/internal/gmp"
 	"pfi/internal/harden"
+	"pfi/internal/journal"
 	"pfi/internal/netsim"
 	"pfi/internal/rudp"
 	"pfi/internal/stack"
@@ -69,6 +71,9 @@ func main() {
 		workerStdio = flag.Bool("worker-stdio", false, "run as a spawned stdio worker (internal)")
 		shards      = flag.Int("shards", 0, "fleet units per round (0: fleet default)")
 		unitTimeout = flag.Duration("unit-timeout", 30*time.Second, "fleet lease timeout before a silent worker's unit is reassigned (0: never reap)")
+
+		journalPath = flag.String("journal", "", "write-ahead log for crash-safe sweeps: every completed cell is banked as it lands")
+		resume      = flag.Bool("resume", false, "continue the sweep banked in -journal instead of refusing to reuse it")
 	)
 	hcfg := harden.Flags(flag.CommandLine)
 	prof := diag.Register()
@@ -98,6 +103,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
 		os.Exit(1)
 	}
+	var jl *journal.Log
+	if *journalPath != "" {
+		if *raftSizes != "" {
+			fmt.Fprintln(os.Stderr, "pficampaign: -journal supports the single-matrix GMP sweep; the raft mode runs several sweeps per invocation")
+			os.Exit(1)
+		}
+		if jl, err = journal.OpenResumable(*journalPath, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, "pficampaign:", err)
+			os.Exit(1)
+		}
+		defer jl.Close()
+	}
+	// Two-stage ctrl-c: the first signal drains the sweep (in-flight
+	// cells finish and are journaled; exit 0 with a resume hint), the
+	// second force-quits a stuck drain.
+	it := diag.NotifyInterrupt(nil,
+		func() {
+			fmt.Fprintln(os.Stderr, "\npficampaign: draining — in-flight cells will finish; interrupt again to force quit")
+		},
+		func() { fmt.Fprintln(os.Stderr, "pficampaign: forced exit") })
+	defer it.Stop()
 	fcfg := fleetMode{serve: *serve, spawn: *spawn, shards: *shards, unitTimeout: *unitTimeout}
 	typesSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -107,12 +133,27 @@ func main() {
 	})
 	var runErr error
 	if *raftSizes != "" {
-		runErr = runRaftMode(*raftSizes, *raftChurn, *workers, *types, typesSet, *faults, *list, *dump, *quiet, *hcfg, fcfg)
+		runErr = runRaftMode(it.Context(), *raftSizes, *raftChurn, *workers, *types, typesSet, *faults, *list, *dump, *quiet, *hcfg, fcfg)
 	} else {
-		runErr = run(*workers, *types, *faults, *list, *dump, *quiet, *hcfg, fcfg)
+		runErr = run(it.Context(), *workers, *types, *faults, *list, *dump, *quiet, *hcfg, fcfg, jl)
 	}
+	it.Stop()
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", err)
+	}
+	if jl != nil {
+		if serr := jl.Sync(); serr != nil && runErr == nil {
+			runErr = serr
+		}
+	}
+	if it.Interrupted() && errors.Is(runErr, context.Canceled) {
+		// A drained sweep is an orderly stop, not a failure.
+		if jl != nil {
+			fmt.Fprintf(os.Stderr, "pficampaign: sweep interrupted; resume with -journal %s -resume\n", *journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "pficampaign: sweep interrupted (use -journal to make interrupted sweeps resumable)")
+		}
+		return
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "pficampaign:", runErr)
@@ -131,7 +172,7 @@ type fleetMode struct {
 
 func (f fleetMode) active() bool { return f.serve != "" || f.spawn > 0 }
 
-func run(workers int, types, faults string, list, dump, quiet bool, hcfg harden.Config, fcfg fleetMode) error {
+func run(ctx context.Context, workers int, types, faults string, list, dump, quiet bool, hcfg harden.Config, fcfg fleetMode, jl *journal.Log) error {
 	kinds, err := parseFaults(faults)
 	if err != nil {
 		return err
@@ -155,10 +196,10 @@ func run(workers int, types, faults string, list, dump, quiet bool, hcfg harden.
 		return dumpPrograms(cases)
 	}
 	if fcfg.active() {
-		return runFleet(spec, len(cases), hcfg, fcfg)
+		return runFleet(ctx, spec, len(cases), hcfg, fcfg, jl)
 	}
 	fmt.Printf("sweeping %d cases with %d worker(s)\n", len(cases), workers)
-	opts := campaign.Options{Workers: workers, Harden: hcfg, Repro: reproScenario}
+	opts := campaign.Options{Workers: workers, Harden: hcfg, Repro: reproScenario, Context: ctx, Journal: jl}
 	if !quiet {
 		opts.OnVerdict = func(v campaign.Verdict) {
 			fmt.Printf("%-8s %s (%s)\n", v.Status(), v.Case.Name, v.Elapsed.Round(time.Millisecond))
@@ -167,6 +208,9 @@ func run(workers int, types, faults string, list, dump, quiet bool, hcfg harden.
 	verdicts, stats, err := campaign.RunParallel(spec, gmpScenario, opts)
 	if err != nil {
 		return err
+	}
+	if stats.Resumed > 0 {
+		fmt.Printf("resumed %d journaled cell(s); ran %d\n", stats.Resumed, stats.Cases-stats.Resumed)
 	}
 	fmt.Print(campaign.Summary(verdicts, stats))
 	if fails := campaign.Failures(verdicts); len(fails) > 0 {
@@ -180,10 +224,11 @@ func run(workers int, types, faults string, list, dump, quiet bool, hcfg harden.
 // both. The merged verdict stream is bit-identical to the in-process
 // sweep; only wall-clock isolation knobs (-run-timeout) stay local, as
 // they do not travel to workers.
-func runFleet(spec campaign.Spec, n int, hcfg harden.Config, fcfg fleetMode) error {
+func runFleet(ctx context.Context, spec campaign.Spec, n int, hcfg harden.Config, fcfg fleetMode, jl *journal.Log) error {
 	coord := fleet.NewCampaign(spec, "gmp", fleet.HardenWire(hcfg), fleet.Config{
 		Shards:      fcfg.shards,
 		UnitTimeout: fcfg.unitTimeout,
+		Journal:     jl,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -208,7 +253,7 @@ func runFleet(spec campaign.Spec, n int, hcfg harden.Config, fcfg fleetMode) err
 		}
 	}
 	fmt.Printf("sweeping %d cases over a fleet (%d spawned worker(s))\n", n, fcfg.spawn)
-	verdicts, stats, err := coord.RunCampaign(context.Background())
+	verdicts, stats, err := coord.RunCampaign(ctx)
 	coord.Close()
 	if pool != nil {
 		pool.Wait()
@@ -217,6 +262,9 @@ func runFleet(spec campaign.Spec, n int, hcfg harden.Config, fcfg fleetMode) err
 		return err
 	}
 	fs := coord.Stats()
+	if stats.Resumed > 0 {
+		fmt.Printf("resumed %d journaled cell(s); ran %d\n", stats.Resumed, stats.Cases-stats.Resumed)
+	}
 	fmt.Print(campaign.Summary(verdicts, stats))
 	fmt.Printf("fleet: %d units over %d worker(s): %d reassigned, %d contained, %d stale, %d bad frames\n",
 		fs.Units, fs.WorkersSeen, fs.Reassigned, fs.Contained, fs.Stale, fs.BadFrames)

@@ -230,7 +230,7 @@ func lowestConflict(m map[uint64]map[string]bool) (uint64, string) {
 // runRaftMode is the -raft entry point: parse the size and churn axes,
 // retarget the default type vocabulary from GMP to the raft wire protocol
 // (an explicit -types still wins), and hand the spec to the sweep.
-func runRaftMode(sizesStr, churnStr string, workers int, types string, typesSet bool, faults string, list, dump, quiet bool, hcfg harden.Config, fcfg fleetMode) error {
+func runRaftMode(ctx context.Context, sizesStr, churnStr string, workers int, types string, typesSet bool, faults string, list, dump, quiet bool, hcfg harden.Config, fcfg fleetMode) error {
 	sizes, err := parseRaftSizes(sizesStr)
 	if err != nil {
 		return err
@@ -268,14 +268,14 @@ func runRaftMode(sizesStr, churnStr string, workers int, types string, typesSet 
 	if dump {
 		return fmt.Errorf("-dump-prog disassembles against the GMP stub; run it without -raft")
 	}
-	return runRaft(sizes, churns, spec, workers, quiet, hcfg, fcfg)
+	return runRaft(ctx, sizes, churns, spec, workers, quiet, hcfg, fcfg)
 }
 
 // runRaft sweeps the full consensus matrix: for each (size, churn) cell,
 // the faultload case matrix runs through the in-process pool or, in fleet
 // mode, is sharded over worker processes (one fleet round per cell — the
 // scenario name carries the cell, the wire carries the case indices).
-func runRaft(sizes []int, churns []string, spec campaign.Spec, workers int, quiet bool, hcfg harden.Config, fcfg fleetMode) error {
+func runRaft(ctx context.Context, sizes []int, churns []string, spec campaign.Spec, workers int, quiet bool, hcfg harden.Config, fcfg fleetMode) error {
 	if fcfg.serve != "" {
 		return fmt.Errorf("-raft sweeps run one fleet round per matrix cell; use -spawn-workers (a -serve listener cannot rebind per cell)")
 	}
@@ -305,14 +305,14 @@ func runRaft(sizes []int, churns []string, spec campaign.Spec, workers int, quie
 				if err != nil {
 					return err
 				}
-				verdicts, stats, err = coord.RunCampaign(context.Background())
+				verdicts, stats, err = coord.RunCampaign(ctx)
 				coord.Close()
 				pool.Wait()
 				if err != nil {
 					return fmt.Errorf("%s: %w", cell, err)
 				}
 			} else {
-				opts := campaign.Options{Workers: workers, Harden: hcfg}
+				opts := campaign.Options{Workers: workers, Harden: hcfg, Context: ctx}
 				if !quiet {
 					opts.OnVerdict = func(v campaign.Verdict) {
 						fmt.Printf("%-8s %s/%s (%s)\n", v.Status(), cell, v.Case.Name, v.Elapsed.Round(time.Millisecond))

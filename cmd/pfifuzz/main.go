@@ -50,6 +50,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +62,7 @@ import (
 	"pfi/internal/explore"
 	"pfi/internal/fleet"
 	"pfi/internal/harden"
+	"pfi/internal/journal"
 	"pfi/internal/script"
 	"pfi/internal/tcp"
 )
@@ -86,6 +89,9 @@ func main() {
 		workerStdio = flag.Bool("worker-stdio", false, "run as a spawned stdio worker (internal)")
 		shards      = flag.Int("shards", 0, "fleet units per round (0: fleet default)")
 		unitTimeout = flag.Duration("unit-timeout", 30*time.Second, "fleet lease timeout before a silent worker's unit is reassigned (0: never reap)")
+
+		journalPath = flag.String("journal", "", "write-ahead log for crash-safe runs: the exploration checkpoints at every generation boundary")
+		resume      = flag.Bool("resume", false, "continue the run banked in -journal instead of refusing to reuse it")
 	)
 	hcfg := harden.Flags(flag.CommandLine)
 	prof := diag.Register()
@@ -112,6 +118,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pfifuzz:", err)
 		os.Exit(1)
 	}
+	var jl *journal.Log
+	if *journalPath != "" {
+		if jl, err = journal.OpenResumable(*journalPath, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, "pfifuzz:", err)
+			os.Exit(1)
+		}
+		defer jl.Close()
+	}
+	// Two-stage ctrl-c: the first signal drains the run at the next
+	// generation boundary (the journal checkpoint makes it resumable;
+	// exit 0 with the hint), the second force-quits a stuck drain.
+	it := diag.NotifyInterrupt(nil,
+		func() {
+			fmt.Fprintln(os.Stderr, "\npfifuzz: draining at the generation boundary — interrupt again to force quit")
+		},
+		func() { fmt.Fprintln(os.Stderr, "pfifuzz: forced exit") })
+	defer it.Stop()
 
 	opts := explore.Options{
 		Seed:          *seed,
@@ -122,6 +145,8 @@ func main() {
 		QuarantineDir: *quar,
 		Harden:        *hcfg,
 		Snapshot:      *snap && !*noSnap,
+		Context:       it.Context(),
+		Journal:       jl,
 	}
 	if *profile != "" {
 		p, err := tcp.ProfileByName(*profile)
@@ -162,8 +187,27 @@ func main() {
 		rep, ferr = explore.Fuzz(opts)
 	}
 	elapsed := time.Since(start)
+	it.Stop()
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, "pfifuzz:", perr)
+	}
+	if jl != nil {
+		if serr := jl.Sync(); serr != nil && ferr == nil {
+			ferr = serr
+		}
+	}
+	if it.Interrupted() && errors.Is(ferr, context.Canceled) {
+		// A drained run is an orderly stop, not a failure: report what
+		// was explored and how to pick it back up.
+		if rep != nil {
+			fmt.Print(rep)
+		}
+		if jl != nil {
+			fmt.Fprintf(os.Stderr, "pfifuzz: run interrupted at a generation boundary; resume with -journal %s -resume\n", *journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "pfifuzz: run interrupted (use -journal to make interrupted runs resumable)")
+		}
+		return
 	}
 	if ferr != nil {
 		fmt.Fprintln(os.Stderr, "pfifuzz:", ferr)

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// envMain re-execs this test binary as the real pfifuzz CLI: when set, the
+// process parses its own command line and runs main() instead of the test
+// suite. Spawned stdio workers inherit the variable, so -spawn-workers
+// inside a re-exec'd coordinator works unchanged.
+const envMain = "PFI_PFIFUZZ_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envMain) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startSelf launches this test binary as pfifuzz with dir as its working
+// directory, capturing stdout and stderr.
+func startSelf(t *testing.T, dir string, args ...string) (*exec.Cmd, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), envMain+"=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, &out, &errb
+}
+
+// runSelf runs the CLI to completion and fails the test on a non-zero exit.
+func runSelf(t *testing.T, dir string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd, out, errb := startSelf(t, dir, args...)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("pfifuzz %v: %v\nstdout:\n%s\nstderr:\n%s", args, err, out, errb)
+	}
+	return out.String(), errb.String()
+}
+
+// killAfterJournal waits for the journal file to hold a record containing
+// marker — proof the run banked real progress — then SIGKILLs the process:
+// no drain, no signal handler, exactly the crash the journal exists for.
+func killAfterJournal(t *testing.T, cmd *exec.Cmd, out, errb *bytes.Buffer, path string, marker []byte) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, _ := os.ReadFile(path); bytes.Contains(b, marker) {
+			break
+		}
+		if cmd.Process.Signal(syscall.Signal(0)) != nil {
+			t.Fatalf("process exited before journaling %q\nstdout:\n%s\nstderr:\n%s", marker, out, errb)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never held %q\nstdout:\n%s\nstderr:\n%s", marker, out, errb)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+}
+
+// comparableReport strips the wall-clock lines from pfifuzz stdout: the
+// throughput, script-engine, and snapshot-session lines vary run to run,
+// while the fingerprint line and every finding line must not.
+func comparableReport(out string) string {
+	var keep []string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "throughput:") || strings.HasPrefix(ln, "script:") ||
+			strings.HasPrefix(strings.TrimSpace(ln), "snapshots:") {
+			continue
+		}
+		keep = append(keep, ln)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// dirBytes returns every file under dir keyed by relative path.
+func dirBytes(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	files := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[rel] = string(b)
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestKillResumeByteIdentical SIGKILLs a journaled exploration mid-run and
+// proves the -resume restart converges on the uninterrupted run: same
+// fingerprint line, same findings, and byte-identical emitted repro files —
+// at 1 and at 4 evaluation workers.
+func TestKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full explorations in subprocesses")
+	}
+	base := []string{"-seed", "5", "-budget", "240", "-batch", "8", "-out", "out"}
+
+	refDir := t.TempDir()
+	refOut, _ := runSelf(t, refDir, append([]string{"-q"}, base...)...)
+	want := comparableReport(refOut)
+	wantFiles := dirBytes(t, filepath.Join(refDir, "out"))
+	if !strings.Contains(want, "fingerprint") {
+		t.Fatalf("reference run produced no fingerprint line:\n%s", refOut)
+	}
+	if len(wantFiles) == 0 {
+		t.Fatal("reference run emitted no repro files")
+	}
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			args := append([]string{"-workers", strconv.Itoa(workers), "-journal", "j.wal"}, base...)
+			cmd, out, errb := startSelf(t, dir, append([]string{"-q"}, args...)...)
+			killAfterJournal(t, cmd, out, errb, filepath.Join(dir, "j.wal"), []byte(`"type":"gen"`))
+
+			// Resume without -q so the journal-restore log line is visible.
+			gotOut, gotErr := runSelf(t, dir, append(args, "-resume")...)
+			if !strings.Contains(gotErr, "journal: resumed at generation") {
+				t.Errorf("resume run never reported restoring the journal:\n%s", gotErr)
+			}
+			if got := comparableReport(gotOut); got != want {
+				t.Errorf("resumed report diverged\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			gotFiles := dirBytes(t, filepath.Join(dir, "out"))
+			if len(gotFiles) != len(wantFiles) {
+				t.Errorf("emitted %d file(s), want %d", len(gotFiles), len(wantFiles))
+			}
+			for rel, wantB := range wantFiles {
+				if gotFiles[rel] != wantB {
+					t.Errorf("repro %s differs from the uninterrupted run", rel)
+				}
+			}
+		})
+	}
+}

@@ -24,10 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	"pfi/internal/core"
+	"pfi/internal/diag"
 	"pfi/internal/interpose"
 )
 
@@ -86,15 +86,11 @@ func run(listen, upstream, sendScript, recvScript string, maxDgram int, drainTO 
 	fmt.Printf("pfiproxy: listening on %s, upstream %s\n", p.Addr(), upstream)
 	fmt.Println("pfiproxy: ctrl-c to drain and stop")
 
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("\npfiproxy: draining (ctrl-c again to force quit)")
-	go func() {
-		<-sig
-		fmt.Fprintln(os.Stderr, "pfiproxy: forced exit")
-		os.Exit(1)
-	}()
+	it := diag.NotifyInterrupt(nil,
+		func() { fmt.Println("\npfiproxy: draining (ctrl-c again to force quit)") },
+		func() { fmt.Fprintln(os.Stderr, "pfiproxy: forced exit") })
+	defer it.Stop()
+	<-it.Context().Done()
 
 	if err := p.Drain(drainTO); err != nil {
 		return err

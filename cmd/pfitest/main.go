@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -60,13 +61,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pfitest:", err)
 		os.Exit(1)
 	}
-	ok, err := run(os.Stdout, config{
+	// Two-stage ctrl-c: the first signal stops launching scenarios
+	// (in-flight ones finish and report), the second force-quits.
+	it := diag.NotifyInterrupt(nil,
+		func() {
+			fmt.Fprintln(os.Stderr, "\npfitest: draining — in-flight scenarios will report; interrupt again to force quit")
+		},
+		func() { fmt.Fprintln(os.Stderr, "pfitest: forced exit") })
+	ok, err := run(it.Context(), os.Stdout, config{
 		dir: *dir, golden: *golden, profile: *profile, runRx: *runRx,
 		workers: *workers, update: *update, diff: *diff, verbose: *verbose,
 		dump: *dump, harden: *hcfg,
 	})
+	it.Stop()
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, "pfitest:", perr)
+	}
+	if it.Interrupted() {
+		fmt.Fprintln(os.Stderr, "pfitest: interrupted — suite incomplete")
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pfitest:", err)
@@ -106,7 +119,7 @@ type config struct {
 	harden                      harden.Config
 }
 
-func run(out io.Writer, cfg config) (bool, error) {
+func run(ctx context.Context, out io.Writer, cfg config) (bool, error) {
 	if cfg.golden == "" {
 		cfg.golden = filepath.Join(cfg.dir, "golden")
 	}
@@ -125,7 +138,7 @@ func run(out io.Writer, cfg config) (bool, error) {
 		}
 	}
 
-	opts := conformance.Options{Workers: cfg.workers, Harden: cfg.harden}
+	opts := conformance.Options{Workers: cfg.workers, Harden: cfg.harden, Context: ctx}
 	if cfg.dump {
 		// Disassembly interleaves with scenario execution; keep it readable
 		// by running scenarios serially.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ const testdata = "../../internal/conformance/testdata"
 func TestConformanceSuiteCLI(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		var out bytes.Buffer
-		ok, err := run(&out, config{dir: testdata, workers: workers})
+		ok, err := run(context.Background(), &out, config{dir: testdata, workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -30,17 +31,17 @@ func TestConformanceSuiteCLI(t *testing.T) {
 // non-matching regex is an error rather than a silent empty run.
 func TestRunRegexFilter(t *testing.T) {
 	var out bytes.Buffer
-	ok, err := run(&out, config{dir: testdata, runRx: "Tcp", workers: 2})
+	ok, err := run(context.Background(), &out, config{dir: testdata, runRx: "Tcp", workers: 2})
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v\n%s", ok, err, out.String())
 	}
 	if strings.Contains(out.String(), "gmp_") {
 		t.Fatalf("-run Tcp leaked gmp scenarios:\n%s", out.String())
 	}
-	if _, err := run(&out, config{dir: testdata, runRx: "zzz9"}); err == nil {
+	if _, err := run(context.Background(), &out, config{dir: testdata, runRx: "zzz9"}); err == nil {
 		t.Fatal("non-matching -run should be an error")
 	}
-	if _, err := run(&out, config{dir: testdata, runRx: "("}); err == nil {
+	if _, err := run(context.Background(), &out, config{dir: testdata, runRx: "("}); err == nil {
 		t.Fatal("invalid regex should be an error")
 	}
 }
@@ -49,14 +50,14 @@ func TestRunRegexFilter(t *testing.T) {
 // checks the per-vendor goldens exist for it.
 func TestRunProfileFlag(t *testing.T) {
 	var out bytes.Buffer
-	ok, err := run(&out, config{dir: testdata, runRx: "tcp_reorder", profile: "solaris"})
+	ok, err := run(context.Background(), &out, config{dir: testdata, runRx: "tcp_reorder", profile: "solaris"})
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v\n%s", ok, err, out.String())
 	}
 	if !strings.Contains(out.String(), "Solaris 2.3") {
 		t.Fatalf("expected Solaris run:\n%s", out.String())
 	}
-	if _, err := run(&out, config{dir: testdata, profile: "hp-ux"}); err == nil {
+	if _, err := run(context.Background(), &out, config{dir: testdata, profile: "hp-ux"}); err == nil {
 		t.Fatal("unknown -profile should be an error")
 	}
 }
@@ -65,7 +66,7 @@ func TestRunProfileFlag(t *testing.T) {
 // expects a failure report, with -diff naming the divergent entries.
 func TestGoldenMismatchFails(t *testing.T) {
 	var out bytes.Buffer
-	ok, err := run(&out, config{
+	ok, err := run(context.Background(), &out, config{
 		dir: testdata, golden: t.TempDir(), runRx: "tcp_reorder", diff: true,
 	})
 	if err != nil {
@@ -84,12 +85,12 @@ func TestGoldenMismatchFails(t *testing.T) {
 func TestUpdateWritesGoldens(t *testing.T) {
 	scratch := t.TempDir()
 	var out bytes.Buffer
-	ok, err := run(&out, config{dir: testdata, golden: scratch, runRx: "gmp_partition", update: true})
+	ok, err := run(context.Background(), &out, config{dir: testdata, golden: scratch, runRx: "gmp_partition", update: true})
 	if err != nil || !ok {
 		t.Fatalf("update: ok=%v err=%v\n%s", ok, err, out.String())
 	}
 	out.Reset()
-	ok, err = run(&out, config{dir: testdata, golden: scratch, runRx: "gmp_partition"})
+	ok, err = run(context.Background(), &out, config{dir: testdata, golden: scratch, runRx: "gmp_partition"})
 	if err != nil || !ok {
 		t.Fatalf("recheck: ok=%v err=%v\n%s", ok, err, out.String())
 	}

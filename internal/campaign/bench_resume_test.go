@@ -1,0 +1,110 @@
+package campaign_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pfi/internal/campaign"
+	"pfi/internal/core"
+	"pfi/internal/harden"
+	"pfi/internal/journal"
+	"pfi/internal/message"
+	"pfi/internal/simtime"
+	"pfi/internal/stack"
+)
+
+// benchResumeSpec is a ~1,000-cell matrix (84 synthetic message types x 6
+// faults x 2 directions = 1,008 cells) over a deterministic single-node
+// scenario sized like a real protocol cell (milliseconds of simulated
+// traffic), so the per-cell journal append is measured against realistic
+// cell work rather than dominating a toy one.
+func benchResumeSpec() campaign.Spec {
+	types := make([]string, 84)
+	for i := range types {
+		types[i] = fmt.Sprintf("T%02d", i)
+	}
+	return campaign.Spec{Protocol: "typed", Types: types}
+}
+
+// resumeScenario is sweepScenario's shape with a GMP-cell-sized message
+// load: 2,000 round trips through the filter layer per cell.
+func resumeScenario(m *harden.Monitor, c campaign.Case) (bool, string, error) {
+	env := &stack.Env{Sched: simtime.NewScheduler(), Node: "n1"}
+	l := core.NewLayer(env, core.WithStub(typedStub{}))
+	m.Attach(env.Sched, nil, func() int {
+		return l.SendFilter().Stats().Injected + l.ReceiveFilter().Stats().Injected
+	})
+	stk := stack.New(env, l)
+	var sent, delivered int
+	stk.OnTransmit(func(m *message.Message) error { sent++; return nil })
+	stk.OnDeliver(func(m *message.Message) error { delivered++; return nil })
+	if err := c.Apply(l); err != nil {
+		return false, "", err
+	}
+	types := []string{"DATA", "ACK", "PING"}
+	for i := 0; i < 2000; i++ {
+		typ := types[i%len(types)]
+		if err := stk.Send(message.NewString(typ)); err != nil {
+			return false, "", err
+		}
+		if err := stk.Deliver(message.NewString(typ)); err != nil {
+			return false, "", err
+		}
+	}
+	env.Sched.RunFor(simtime.Duration(10 * time.Second))
+	return sent+delivered > 0, fmt.Sprintf("sent=%d delivered=%d", sent, delivered), nil
+}
+
+func runResumeSweep(b *testing.B, jl *journal.Log) campaign.RunStats {
+	b.Helper()
+	_, stats, err := campaign.RunParallel(benchResumeSpec(), resumeScenario,
+		campaign.Options{Workers: 1, Journal: jl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.Cases != 1008 {
+		b.Fatalf("swept %d cells, want 1008", stats.Cases)
+	}
+	return stats
+}
+
+// BenchmarkResumeSweep is the crash-safe sweep: every completed cell is
+// banked to the write-ahead log as it lands, including the final fsync.
+// Compare with BenchmarkResumeSweepBare — the delta is the whole price of
+// crash-safety on a 1,008-cell matrix (BENCH_resume.json budgets it <2%).
+func BenchmarkResumeSweep(b *testing.B) {
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("sweep%d.wal", i))
+		jl, err := journal.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := runResumeSweep(b, jl)
+		if err := jl.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if err := jl.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(stats.CasesPerSecond, "cases/s")
+		}
+		os.Remove(path)
+	}
+}
+
+// BenchmarkResumeSweepBare is the identical sweep with no journal
+// attached: the pre-crash-safety baseline.
+func BenchmarkResumeSweepBare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats := runResumeSweep(b, nil)
+		if i == 0 {
+			b.ReportMetric(stats.CasesPerSecond, "cases/s")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pfi/internal/harden"
+	"pfi/internal/journal"
 )
 
 // Options configures a campaign sweep.
@@ -30,6 +31,14 @@ type Options struct {
 	// Repro, when non-nil, renders a case as committable scenario source
 	// for quarantine repros of contained failures (needs Harden.ReproDir).
 	Repro func(Case) string
+	// Journal, when non-nil, streams each completed cell into a write-
+	// ahead log and skips cells the log already holds: a killed sweep
+	// resumed with the same journal re-runs only the missing cells, and
+	// restored verdicts (including contained/quarantined ones — their
+	// outcome, retry count, and repro note survive) canonicalize
+	// identically to fresh ones. A journal write failure aborts the
+	// sweep as a tool fault; completed work is never silently dropped.
+	Journal *journal.Log
 }
 
 // RunStats summarizes a sweep's outcome and throughput.
@@ -46,6 +55,8 @@ type RunStats struct {
 	// Retries counts extra attempts the isolation layer made to classify
 	// contained failures as deterministic vs. flaky.
 	Retries int
+	// Resumed counts cells restored from the journal instead of re-run.
+	Resumed int
 	// Workers is the pool size the sweep actually used.
 	Workers int
 	// Elapsed is the total wall-clock sweep duration.
@@ -58,6 +69,9 @@ type RunStats struct {
 func (s RunStats) String() string {
 	line := fmt.Sprintf("swept %d cases in %s (%.1f cases/s, %d worker(s))",
 		s.Cases, s.Elapsed.Round(time.Millisecond), s.CasesPerSecond, s.Workers)
+	if s.Resumed > 0 {
+		line += fmt.Sprintf("; resumed %d from journal", s.Resumed)
+	}
 	if s.Crashes > 0 || s.Timeouts > 0 || s.Retries > 0 {
 		line += fmt.Sprintf("; contained %d crash(es), %d timeout/livelock(s), %d retr(ies)",
 			s.Crashes, s.Timeouts, s.Retries)
@@ -89,18 +103,68 @@ func runCases(cases []Case, scenario Scenario, opts Options) ([]Verdict, RunStat
 		hcfg.Context = opts.Context
 	}
 
-	var mu sync.Mutex // guards verdicts/done and serializes OnVerdict
-	err := ForEach(opts.Context, workers, len(cases), func(i int) {
+	// Resume: restore journaled cells before dispatch so the pool only
+	// sees the missing ones. Restored cells do not re-fire OnVerdict —
+	// the observer saw them in the run that journaled them.
+	resumed := 0
+	if opts.Journal != nil {
+		restored, err := PrepareJournal(opts.Journal, cases)
+		if err != nil {
+			return nil, RunStats{}, err
+		}
+		for i, jv := range restored {
+			verdicts[i] = jv.Restore(cases[i])
+			done[i] = true
+		}
+		resumed = len(restored)
+		journal.CountResumed(resumed)
+	}
+
+	// A journal write failure must abort the sweep (ToolFault), not
+	// drop completed work silently: cancel the pool and surface it.
+	ctx := opts.Context
+	var cancel context.CancelFunc
+	var jerr error
+	if opts.Journal != nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+
+	var mu sync.Mutex // guards verdicts/done/jerr and serializes OnVerdict
+	err := ForEach(ctx, workers, len(cases), func(i int) {
+		if done[i] {
+			return // restored from the journal
+		}
 		v := runCase(cases[i], scenario, hcfg, opts.Repro)
 		mu.Lock()
 		verdicts[i] = v
 		done[i] = true
+		// A cell the context watchdog aborted mid-flight is not
+		// completed work — leave it out of the journal so resume
+		// re-runs it cleanly instead of restoring the abort.
+		ctxAborted := v.Isolation != nil && v.Isolation.Counter == "context"
+		if opts.Journal != nil && jerr == nil && !ctxAborted {
+			if werr := opts.Journal.Append(RecVerdict, JournalOf(i, v)); werr != nil {
+				jerr = werr
+				cancel()
+			}
+		}
 		if opts.OnVerdict != nil {
 			opts.OnVerdict(v)
 		}
 		mu.Unlock()
 	})
-	return finish(verdicts, done, start, workers, err)
+	if jerr != nil {
+		err = jerr
+	} else if opts.Context != nil && opts.Context.Err() != nil {
+		err = opts.Context.Err() // don't leak the internal wrapper's cancellation
+	}
+	out, stats, err := finish(verdicts, done, start, workers, err)
+	stats.Resumed = resumed
+	return out, stats, err
 }
 
 // RunCase executes one generated case through the isolation layer and
@@ -290,4 +354,3 @@ func max(a, b int) int {
 	}
 	return b
 }
-

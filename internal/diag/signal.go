@@ -1,0 +1,81 @@
+package diag
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Interrupt is a two-stage SIGINT/SIGTERM handler shared by the
+// long-running commands: the first signal requests a graceful drain
+// (the returned context is canceled; the caller stops starting new
+// work, syncs its journal, and exits cleanly), the second forces the
+// process out immediately — the escape hatch when the drain itself is
+// stuck.
+type Interrupt struct {
+	ctx         context.Context
+	cancel      context.CancelFunc
+	sig         chan os.Signal
+	stop        chan struct{}
+	stopOnce    sync.Once
+	interrupted atomic.Bool
+}
+
+// NotifyInterrupt derives a context canceled on the first SIGINT or
+// SIGTERM and arms the second-signal force quit. onDrain runs on the
+// first signal (announce the drain; may be nil); onForce runs on the
+// second, immediately before the process exits with status 130 (the
+// conventional fatal-signal code; may be nil). parent may be nil for
+// context.Background. Call Stop to release the handler once the run
+// ends on its own.
+func NotifyInterrupt(parent context.Context, onDrain, onForce func()) *Interrupt {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	it := &Interrupt{ctx: ctx, cancel: cancel, sig: make(chan os.Signal, 2), stop: make(chan struct{})}
+	signal.Notify(it.sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-it.sig:
+		case <-it.stop:
+			return
+		}
+		it.interrupted.Store(true)
+		if onDrain != nil {
+			onDrain()
+		}
+		cancel()
+		select {
+		case <-it.sig:
+		case <-it.stop:
+			return
+		}
+		if onForce != nil {
+			onForce()
+		}
+		os.Exit(130)
+	}()
+	return it
+}
+
+// Context is canceled on the first interrupt (or when Stop is called).
+func (it *Interrupt) Context() context.Context { return it.ctx }
+
+// Interrupted reports whether a signal (not Stop) canceled the context
+// — the caller's cue to exit 0 with a resume hint instead of treating
+// the cancellation as a failure.
+func (it *Interrupt) Interrupted() bool { return it.interrupted.Load() }
+
+// Stop releases the signal handler and cancels the context. Safe to
+// call more than once; after Stop, signals revert to default handling.
+func (it *Interrupt) Stop() {
+	it.stopOnce.Do(func() {
+		signal.Stop(it.sig)
+		close(it.stop)
+	})
+	it.cancel()
+}

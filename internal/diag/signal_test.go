@@ -1,0 +1,53 @@
+package diag
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestNotifyInterruptDrainStage sends this process a real SIGINT and
+// proves the first stage fires: onDrain runs, the context cancels, and
+// Interrupted reports true — without the process dying.
+func TestNotifyInterruptDrainStage(t *testing.T) {
+	drained := make(chan struct{})
+	it := NotifyInterrupt(nil, func() { close(drained) }, nil)
+	defer it.Stop()
+	if it.Interrupted() {
+		t.Fatal("Interrupted before any signal")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-it.Context().Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context never canceled after SIGINT")
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onDrain never ran")
+	}
+	if !it.Interrupted() {
+		t.Error("Interrupted = false after a signal")
+	}
+}
+
+// TestNotifyInterruptStop proves a clean shutdown: Stop cancels the
+// context without marking the run interrupted, and is idempotent.
+func TestNotifyInterruptStop(t *testing.T) {
+	it := NotifyInterrupt(context.Background(), nil, nil)
+	it.Stop()
+	select {
+	case <-it.Context().Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not cancel the context")
+	}
+	if it.Interrupted() {
+		t.Error("Stop counted as an interrupt")
+	}
+	it.Stop() // second Stop must not panic
+}

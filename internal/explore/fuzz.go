@@ -2,12 +2,14 @@ package explore
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"pfi/internal/campaign"
 	"pfi/internal/dist"
 	"pfi/internal/harden"
+	"pfi/internal/journal"
 	"pfi/internal/tcp"
 )
 
@@ -63,6 +65,17 @@ type Options struct {
 	// is configured in Harden — those are measured per run and would see a
 	// different clock from a fork.
 	Snapshot bool
+
+	// Journal, when non-nil, checkpoints the exploration at every
+	// generation boundary: corpus deltas, coverage, findings, tried
+	// schedule keys, and the RNG position stream into the write-ahead
+	// log (compacted every few generations). A run killed mid-
+	// generation and restarted with the same journal rewinds the RNG to
+	// the last boundary, replays the interrupted generation, and ends
+	// bit-identical to an uninterrupted run: same fingerprint, same
+	// findings, same emitted repro bytes. A journal write failure
+	// aborts the run as a tool fault.
+	Journal *journal.Log
 
 	// EvalBatch, when non-nil, overrides whole-batch candidate evaluation
 	// — the fleet coordinator uses it to shard generation batches over
@@ -191,6 +204,18 @@ func Fuzz(opts Options) (*Report, error) {
 		found   = map[string]bool{} // violation signatures already shrunk
 	)
 
+	// Journal bookkeeping: deltas accumulated since the last generation
+	// boundary (only when a journal is attached).
+	jl := opts.Journal
+	var jstate *fuzzState
+	var newSeen, newFound []string
+	markSeen := func(k string) {
+		seen[k] = true
+		if jl != nil {
+			newSeen = append(newSeen, k)
+		}
+	}
+
 	admit := func(o *Outcome) {
 		fresh := global.Merge(o.Cov)
 		if fresh == 0 {
@@ -207,6 +232,9 @@ func Fuzz(opts Options) (*Report, error) {
 				continue
 			}
 			found[sig] = true
+			if jl != nil {
+				newFound = append(newFound, sig)
+			}
 			f, err := shrinkAndEmit(o.Schedule, v, opts, rep)
 			if err != nil {
 				return err
@@ -239,16 +267,107 @@ func Fuzz(opts Options) (*Report, error) {
 
 	// Generation zero: the deterministic seed corpus, plus any caller seeds.
 	seeds := append(seedCorpus(), opts.Seeds...)
-	for _, s := range seeds {
-		seen[s.Key()] = true
+
+	// Resume: validate the journal against this run's parameters and
+	// restore the state at its last completed generation boundary. The
+	// RNG rewinds to that boundary, so the next derivation — including
+	// a replay of any generation the crash interrupted — is the one an
+	// uninterrupted run would have made.
+	if jl != nil {
+		meta := fuzzMeta{Kind: "fuzz", Seed: opts.Seed, Batch: opts.BatchSize,
+			Profile: opts.Profile.Name, SeedHash: seedHash(seeds)}
+		st, err := prepareFuzzJournal(jl, meta)
+		if err != nil {
+			return rep, err
+		}
+		jstate = st
 	}
-	outs, err := evalBatch(seeds)
-	if err != nil {
-		return rep, err
+	corpusBase, findingsBase := 0, 0
+	boundary := func() error {
+		if jl == nil {
+			return nil
+		}
+		rec := genRecord{Gen: rep.Generations, Runs: rep.Runs, ShrinkRuns: rep.ShrinkRuns,
+			RngMark: rng.Mark(), Seen: newSeen, Found: newFound}
+		for _, e := range corpus[corpusBase:] {
+			rec.Corpus = append(rec.Corpus, jEntry{Schedule: e.sched, Cov: covToJournal(e.cov)})
+		}
+		for _, f := range rep.Findings[findingsBase:] {
+			rec.Findings = append(rec.Findings, findingToJournal(f))
+		}
+		if err := jl.Append(RecGen, rec); err != nil {
+			return err
+		}
+		if jstate == nil {
+			jstate = &fuzzState{}
+		}
+		jstate.apply(rec, false)
+		jstate.genRecords++
+		newSeen, newFound = nil, nil
+		corpusBase, findingsBase = len(corpus), len(rep.Findings)
+		if jstate.genRecords >= checkpointEvery {
+			metaData, err := json.Marshal(fuzzMeta{Kind: "fuzz", Seed: opts.Seed, Batch: opts.BatchSize,
+				Profile: opts.Profile.Name, SeedHash: seedHash(seeds)})
+			if err != nil {
+				return err
+			}
+			ckpt, err := jstate.snapshotRecord()
+			if err != nil {
+				return err
+			}
+			if err := jl.Checkpoint([]journal.Record{
+				{V: journal.FormatVersion, Type: RecFuzzMeta, Data: metaData}, ckpt,
+			}); err != nil {
+				return err
+			}
+			jstate.genRecords = 0
+		}
+		return nil
 	}
-	for _, o := range outs {
-		admit(o)
-		if err := handle(o); err != nil {
+
+	if jstate != nil {
+		// Restore to the last boundary. The global map and bit-hit
+		// counters rebuild from the corpus in admission order (every
+		// global bit was first contributed by an admitted entry).
+		rep.Generations, rep.Runs, rep.ShrinkRuns = jstate.gen, jstate.runs, jstate.shrink
+		for _, k := range jstate.seen {
+			seen[k] = true
+		}
+		for _, sig := range jstate.found {
+			found[sig] = true
+		}
+		for _, je := range jstate.corpus {
+			cov, err := covFromJournal(je.Cov)
+			if err != nil {
+				return rep, err
+			}
+			global.Merge(cov)
+			cov.Bits(func(bit int) { bitHits[bit]++ })
+			corpus = append(corpus, corpusEntry{sched: je.Schedule, cov: cov})
+		}
+		for _, jf := range jstate.findings {
+			rep.Findings = append(rep.Findings, jf.restore())
+		}
+		rng.Rewind(jstate.mark)
+		corpusBase, findingsBase = len(corpus), len(rep.Findings)
+		journal.CountResumed(jstate.runs)
+		opts.Log("journal: resumed at generation %d (%d runs, corpus %d, %d finding(s))",
+			jstate.gen, jstate.runs, len(corpus), len(rep.Findings))
+	} else {
+		for _, s := range seeds {
+			markSeen(s.Key())
+		}
+		outs, err := evalBatch(seeds)
+		if err != nil {
+			return rep, err
+		}
+		for _, o := range outs {
+			admit(o)
+			if err := handle(o); err != nil {
+				return rep, err
+			}
+		}
+		if err := boundary(); err != nil {
 			return rep, err
 		}
 	}
@@ -273,7 +392,7 @@ func Fuzz(opts Options) (*Report, error) {
 				cand = mutate(rng, corpus[rng.Weighted(weights)].sched)
 			}
 			if k := cand.Key(); !seen[k] {
-				seen[k] = true
+				markSeen(k)
 				batch = append(batch, cand)
 			} else if rng.Bernoulli(0.5) {
 				// Mutation landed on a known genome; re-draw, but keep a
@@ -292,6 +411,9 @@ func Fuzz(opts Options) (*Report, error) {
 			if err := handle(o); err != nil {
 				return rep, err
 			}
+		}
+		if err := boundary(); err != nil {
+			return rep, err
 		}
 		opts.Log("gen %d: %d/%d runs, corpus %d, %d bits, %d finding(s)",
 			rep.Generations, rep.Runs, opts.Budget, len(corpus), global.Count(), len(rep.Findings))

@@ -9,6 +9,7 @@ import (
 
 	"pfi/internal/campaign"
 	"pfi/internal/harden"
+	"pfi/internal/journal"
 )
 
 // NewCampaign builds a coordinator that shards the given campaign matrix
@@ -24,7 +25,11 @@ func NewCampaign(spec campaign.Spec, scenario string, hw WireHarden, cfg Config)
 // to whatever workers join, and merges the verdict stream back in
 // generation order — bit-identical (status, name, ok, note, error text)
 // to single-process campaign.RunParallel with the same spec, scenario,
-// and harden knobs, at any shard count and any completion order.
+// and harden knobs, at any shard count and any completion order. With
+// Config.Journal set, cells already journaled (by a previous
+// coordinator, or an in-process sweep — the records are shared) are
+// restored instead of dispatched, and every newly merged cell streams
+// into the log as it lands.
 func (c *Coordinator) RunCampaign(ctx context.Context) ([]campaign.Verdict, campaign.RunStats, error) {
 	if c.job.Kind != JobCampaign {
 		return nil, campaign.RunStats{}, fmt.Errorf("fleet: RunCampaign on a %s coordinator", c.job.Kind)
@@ -33,6 +38,11 @@ func (c *Coordinator) RunCampaign(ctx context.Context) ([]campaign.Verdict, camp
 	if err != nil {
 		return nil, campaign.RunStats{}, err
 	}
+	resumed, err := c.attachCampaignJournal(cases)
+	if err != nil {
+		return nil, campaign.RunStats{}, err
+	}
+	journal.CountResumed(resumed)
 	start := time.Now()
 	results, err := c.RunRound(ctx, c.newRound(len(cases), nil))
 
@@ -47,7 +57,13 @@ func (c *Coordinator) RunCampaign(ctx context.Context) ([]campaign.Verdict, camp
 			retries += wv.Retries
 		}
 	}
+	if c.cfg.Journal != nil {
+		if serr := c.cfg.Journal.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	stats := campaignStats(verdicts, retries, c.Stats().WorkersSeen, time.Since(start))
+	stats.Resumed = resumed
 	return verdicts, stats, err
 }
 

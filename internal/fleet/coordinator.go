@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"pfi/internal/campaign"
 	"pfi/internal/explore"
 	"pfi/internal/harden"
+	"pfi/internal/journal"
 )
 
 // Config tunes a coordinator.
@@ -25,6 +27,17 @@ type Config struct {
 	// LeaseWait bounds how long a lease request blocks server-side before
 	// answering wait (long-poll interval; default 250ms).
 	LeaseWait time.Duration
+	// Journal, when non-nil, makes a campaign coordinator crash-safe:
+	// every merged cell streams into the write-ahead log, journaled
+	// cells are pre-filled (not re-dispatched) on the next RunCampaign
+	// against the same log, and each attachment appends an epoch record
+	// so reconnecting workers can tell a restarted coordinator from the
+	// one they left. Leases are deliberately not persisted — a restarted
+	// coordinator re-leases the missing cells, and first-write-wins
+	// keeps anything a worker streamed before the crash. Fuzz runs
+	// journal explore-side instead (pass explore.Options.Journal to
+	// RunFuzz).
+	Journal *journal.Log
 	// Log receives progress lines (nil: silent).
 	Log func(format string, args ...any)
 }
@@ -59,6 +72,9 @@ type Stats struct {
 	// Stale counts results dropped because their unit was already
 	// completed or reassigned elsewhere — the exactly-once guard firing.
 	Stale int `json:"stale"`
+	// Cells counts cells merged from streamed MsgCell frames (duplicate
+	// streams of an already-held cell are ignored, not counted).
+	Cells int `json:"cells"`
 	// BadFrames counts undecodable, version-mismatched, or structurally
 	// invalid frames.
 	BadFrames int `json:"bad_frames"`
@@ -88,6 +104,7 @@ type session struct {
 // round is one dispatched batch of units.
 type round struct {
 	id      int
+	n       int // cells in the round's index space
 	units   []Unit
 	byID    map[int]int // unit ID -> position
 	state   []int
@@ -97,6 +114,12 @@ type round struct {
 	results []*Result
 	left    int
 	done    chan struct{}
+	// Per-cell partials, indexed by global cell index. Streamed cells,
+	// journal-restored cells, and full-result payload entries all land
+	// here first-write-wins; a unit completes when its whole [Lo,Hi) is
+	// filled. Exactly one slice is used, matching the job kind.
+	cellV []*WireVerdict
+	cellO []*WireOutcome
 }
 
 // Coordinator is the fleet's single source of truth: it owns the job,
@@ -117,6 +140,13 @@ type Coordinator struct {
 	round    *round
 	draining bool
 	stats    Stats
+
+	// Journal state (campaign jobs with Config.Journal).
+	epoch     int                 // restart count from RecEpoch records (0: no journal)
+	restored  map[int]WireVerdict // journaled cells, pre-filled into the next round
+	cellNames []string            // case names, for journal records
+	jerr      error               // first journal-write failure
+	jfail     chan struct{}       // closed when jerr is set; aborts RunRound
 }
 
 // NewCoordinator builds a coordinator for the given job. Use NewCampaign
@@ -182,6 +212,8 @@ func (c *Coordinator) HandleEnvelope(e Envelope) Envelope {
 		return c.hello(e)
 	case MsgLease:
 		return c.lease(e)
+	case MsgCell:
+		return c.cell(e)
 	case MsgResult:
 		return c.result(e)
 	default:
@@ -202,7 +234,7 @@ func (c *Coordinator) hello(e Envelope) Envelope {
 	c.stats.WorkersSeen++
 	c.cfg.Log("fleet: worker %s (%s) joined", s.id, s.worker)
 	job := c.job
-	return Envelope{V: ProtocolVersion, Type: MsgJob, Session: s.id, Job: &job}
+	return Envelope{V: ProtocolVersion, Type: MsgJob, Session: s.id, Epoch: c.epoch, Job: &job}
 }
 
 // lease hands the requesting session the next pending unit, long-polling
@@ -248,11 +280,47 @@ func (c *Coordinator) lease(e Envelope) Envelope {
 	}
 }
 
-// result merges a completed unit — or drops it as stale if the unit was
-// already completed or reassigned away from the sender. A structurally
-// invalid result (wrong cell count, out-of-range indices, bad coverage
-// words) is treated as losing the unit: reassigned once, contained on
-// the second strike, never merged.
+// cell merges one streamed cell of a leased unit — or drops it as stale
+// if the unit moved on (completed, or reassigned away from the sender).
+// A structurally invalid cell is treated like an invalid result: the
+// unit is lost, never merged.
+func (c *Coordinator) cell(e Envelope) Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sessions[e.Session]
+	if s == nil {
+		return errEnvelope(fmt.Sprintf("fleet: unknown session %q", e.Session))
+	}
+	s.lastSeen = time.Now()
+	if e.Cell == nil {
+		c.stats.BadFrames++
+		return errEnvelope("fleet: cell frame carries no cell")
+	}
+	r := c.round
+	if r == nil {
+		c.stats.Stale++
+		return Envelope{V: ProtocolVersion, Type: MsgAck}
+	}
+	pos, ok := r.byID[e.Cell.Unit]
+	if !ok || r.state[pos] == unitDone || r.owner[pos] != s.id {
+		c.stats.Stale++
+		return Envelope{V: ProtocolVersion, Type: MsgAck}
+	}
+	if err := c.mergeCellLocked(r, r.units[pos], *e.Cell); err != nil {
+		c.stats.BadFrames++
+		c.loseUnitLocked(r, pos, harden.ToolFault, fmt.Sprintf("fleet: unit %d: invalid cell from %s: %v", e.Cell.Unit, s.id, err))
+		return errEnvelope(err.Error())
+	}
+	return Envelope{V: ProtocolVersion, Type: MsgAck}
+}
+
+// result completes a unit whose cells are already held — streamed, pre-
+// filled from the journal, or carried in this frame's payload (a v1-
+// style full result) — or drops it as stale if the unit was already
+// completed or reassigned away from the sender. A structurally invalid
+// or incomplete result (out-of-range indices, bad coverage words, cells
+// still missing) is treated as losing the unit: reassigned once,
+// contained on the second strike, never merged.
 func (c *Coordinator) result(e Envelope) Envelope {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -275,49 +343,153 @@ func (c *Coordinator) result(e Envelope) Envelope {
 		c.stats.Stale++
 		return Envelope{V: ProtocolVersion, Type: MsgAck}
 	}
-	if err := validateResult(c.job.Kind, r.units[pos], e.Result); err != nil {
+	u := r.units[pos]
+	if err := c.foldResultLocked(r, u, e.Result); err != nil {
 		c.stats.BadFrames++
 		c.loseUnitLocked(r, pos, harden.ToolFault, fmt.Sprintf("fleet: unit %d: invalid result from %s: %v", e.Result.Unit, s.id, err))
 		return errEnvelope(err.Error())
 	}
 	delete(s.leased, e.Result.Unit)
 	s.completed++
-	res := *e.Result
-	c.completeLocked(r, pos, &res)
+	c.completeLocked(r, pos, c.assembleLocked(r, u))
 	return Envelope{V: ProtocolVersion, Type: MsgAck}
 }
 
-// validateResult enforces the merge precondition: exactly one entry per
-// cell, in cell order, with in-range coverage words — a truncated or
-// garbled result must never reach the merge.
-func validateResult(kind string, u Unit, res *Result) error {
-	want := u.Hi - u.Lo
-	switch kind {
-	case JobCampaign:
-		if len(res.Verdicts) != want {
-			return fmt.Errorf("fleet: unit %d: %d verdicts for %d cells", u.ID, len(res.Verdicts), want)
+// foldResultLocked validates a result's payload entries, folds them into
+// the round's cell partials, and enforces the merge precondition: every
+// cell of the unit held, with in-range indices and coverage words. The
+// payload is validated in full before anything is folded, so a garbled
+// result never reaches the merge even partially.
+func (c *Coordinator) foldResultLocked(r *round, u Unit, res *Result) error {
+	for _, v := range res.Verdicts {
+		v := v
+		if err := c.checkCellLocked(r, u, WireCell{Unit: u.ID, Verdict: &v}); err != nil {
+			return err
 		}
-		for i, v := range res.Verdicts {
-			if v.Index != u.Lo+i {
-				return fmt.Errorf("fleet: unit %d: verdict %d has index %d, want %d", u.ID, i, v.Index, u.Lo+i)
-			}
+	}
+	for _, o := range res.Outcomes {
+		o := o
+		if err := c.checkCellLocked(r, u, WireCell{Unit: u.ID, Outcome: &o}); err != nil {
+			return err
 		}
-	case JobFuzz:
-		if len(res.Outcomes) != want {
-			return fmt.Errorf("fleet: unit %d: %d outcomes for %d cells", u.ID, len(res.Outcomes), want)
+	}
+	for _, v := range res.Verdicts {
+		v := v
+		c.fillCellLocked(r, WireCell{Unit: u.ID, Verdict: &v}, false)
+	}
+	for _, o := range res.Outcomes {
+		o := o
+		c.fillCellLocked(r, WireCell{Unit: u.ID, Outcome: &o}, false)
+	}
+	for i := u.Lo; i < u.Hi; i++ {
+		if (c.job.Kind == JobCampaign && r.cellV[i] == nil) ||
+			(c.job.Kind == JobFuzz && r.cellO[i] == nil) {
+			return fmt.Errorf("fleet: unit %d: cell %d neither streamed nor carried", u.ID, i)
 		}
-		for i, o := range res.Outcomes {
-			if o.Index != u.Lo+i {
-				return fmt.Errorf("fleet: unit %d: outcome %d has index %d, want %d", u.ID, i, o.Index, u.Lo+i)
-			}
-			if _, err := covFromWire(o.Cov); err != nil {
-				return fmt.Errorf("fleet: unit %d: outcome %d: %w", u.ID, i, err)
-			}
-		}
-	default:
-		return fmt.Errorf("fleet: unknown job kind %q", kind)
 	}
 	return nil
+}
+
+// checkCellLocked validates one cell payload against the unit and job
+// kind without merging it.
+func (c *Coordinator) checkCellLocked(r *round, u Unit, cell WireCell) error {
+	switch c.job.Kind {
+	case JobCampaign:
+		if cell.Verdict == nil || cell.Outcome != nil {
+			return fmt.Errorf("fleet: unit %d: campaign cell without a verdict", u.ID)
+		}
+		if i := cell.Verdict.Index; i < u.Lo || i >= u.Hi {
+			return fmt.Errorf("fleet: unit %d: verdict index %d outside [%d,%d)", u.ID, i, u.Lo, u.Hi)
+		}
+	case JobFuzz:
+		if cell.Outcome == nil || cell.Verdict != nil {
+			return fmt.Errorf("fleet: unit %d: fuzz cell without an outcome", u.ID)
+		}
+		if i := cell.Outcome.Index; i < u.Lo || i >= u.Hi {
+			return fmt.Errorf("fleet: unit %d: outcome index %d outside [%d,%d)", u.ID, i, u.Lo, u.Hi)
+		}
+		if _, err := covFromWire(cell.Outcome.Cov); err != nil {
+			return fmt.Errorf("fleet: unit %d: outcome %d: %w", u.ID, cell.Outcome.Index, err)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown job kind %q", c.job.Kind)
+	}
+	return nil
+}
+
+// mergeCellLocked validates and merges one streamed cell.
+func (c *Coordinator) mergeCellLocked(r *round, u Unit, cell WireCell) error {
+	if err := c.checkCellLocked(r, u, cell); err != nil {
+		return err
+	}
+	c.fillCellLocked(r, cell, true)
+	return nil
+}
+
+// fillCellLocked stores a validated cell first-write-wins and journals
+// newly filled campaign cells. Duplicates (a reassigned worker re-
+// earning a cell the first owner already streamed) are ignored — cells
+// are pure functions of their case, so any duplicate is identical.
+func (c *Coordinator) fillCellLocked(r *round, cell WireCell, streamed bool) {
+	switch {
+	case cell.Verdict != nil:
+		i := cell.Verdict.Index
+		if r.cellV[i] != nil {
+			return
+		}
+		v := *cell.Verdict
+		r.cellV[i] = &v
+		if streamed {
+			c.stats.Cells++
+		}
+		c.journalCellLocked(i, v)
+	case cell.Outcome != nil:
+		i := cell.Outcome.Index
+		if r.cellO[i] != nil {
+			return
+		}
+		o := *cell.Outcome
+		r.cellO[i] = &o
+		if streamed {
+			c.stats.Cells++
+		}
+	}
+}
+
+// assembleLocked builds a unit's merged Result from the round's cell
+// partials; every cell is guaranteed filled by foldResultLocked or the
+// containment path.
+func (c *Coordinator) assembleLocked(r *round, u Unit) *Result {
+	res := &Result{Unit: u.ID}
+	for i := u.Lo; i < u.Hi; i++ {
+		switch c.job.Kind {
+		case JobCampaign:
+			res.Verdicts = append(res.Verdicts, *r.cellV[i])
+		case JobFuzz:
+			res.Outcomes = append(res.Outcomes, *r.cellO[i])
+		}
+	}
+	return res
+}
+
+// journalCellLocked streams one merged campaign cell into the write-
+// ahead log. A write failure latches jerr and aborts the running round —
+// completed work is never silently unjournaled.
+func (c *Coordinator) journalCellLocked(i int, v WireVerdict) {
+	if c.cfg.Journal == nil || c.jerr != nil || c.job.Kind != JobCampaign || i >= len(c.cellNames) {
+		return
+	}
+	jv := campaign.JournalVerdict{
+		Index: i, Name: c.cellNames[i],
+		OK: v.OK, Note: v.Note, Err: v.Err,
+		Outcome: v.Outcome, Retries: v.Retries, ElapsedUS: v.ElapsedUS,
+	}
+	if err := c.cfg.Journal.Append(campaign.RecVerdict, jv); err != nil {
+		c.jerr = err
+		if c.jfail != nil {
+			close(c.jfail)
+		}
+	}
 }
 
 // completeLocked records a unit's results and wakes the round waiter
@@ -379,40 +551,46 @@ func (c *Coordinator) loseUnitLocked(r *round, pos int, kind harden.Kind, why st
 		return
 	}
 	c.stats.Contained++
-	c.cfg.Log("fleet: unit %d lost twice; recording cells as contained", r.units[pos].ID)
-	c.completeLocked(r, pos, containedResult(c.job, r.units[pos], kind, why))
+	c.cfg.Log("fleet: unit %d lost twice; recording missing cells as contained", r.units[pos].ID)
+	c.containMissingLocked(r, r.units[pos], kind, why)
+	c.completeLocked(r, pos, c.assembleLocked(r, r.units[pos]))
 }
 
-// containedResult synthesizes the verdicts for a unit whose execution
-// was lost twice: every cell becomes a contained record under the harden
-// taxonomy (campaign) or an exec-error violation (fuzz — machine-
-// dependent losses are reported, never emitted, matching how wall-clock
-// timeouts degrade elsewhere).
-func containedResult(job Job, u Unit, kind harden.Kind, why string) *Result {
-	res := &Result{Unit: u.ID}
+// containMissingLocked synthesizes the cells a twice-lost unit never
+// streamed: each missing cell becomes a contained record under the
+// harden taxonomy (campaign) or an exec-error violation (fuzz —
+// machine-dependent losses are reported, never emitted, matching how
+// wall-clock timeouts degrade elsewhere). Cells the lost workers did
+// stream are kept — they are real completed work.
+func (c *Coordinator) containMissingLocked(r *round, u Unit, kind harden.Kind, why string) {
 	if kind != harden.Timeout {
 		kind = harden.ToolFault
 	}
 	for i := u.Lo; i < u.Hi; i++ {
-		switch job.Kind {
+		switch c.job.Kind {
 		case JobCampaign:
-			res.Verdicts = append(res.Verdicts, WireVerdict{
+			if r.cellV[i] != nil {
+				continue
+			}
+			c.fillCellLocked(r, WireCell{Unit: u.ID, Verdict: &WireVerdict{
 				Index:   i,
 				Err:     why + " (reassignment exhausted)",
 				Outcome: int(kind),
-			})
+			}}, false)
 		case JobFuzz:
-			res.Outcomes = append(res.Outcomes, WireOutcome{
+			if r.cellO[i] != nil {
+				continue
+			}
+			c.fillCellLocked(r, WireCell{Unit: u.ID, Outcome: &WireOutcome{
 				Index:    i,
 				Schedule: u.Schedules[i-u.Lo],
 				Violations: []explore.Violation{{
 					Kind:   explore.ViolExecError,
 					Detail: why + " (reassignment exhausted)",
 				}},
-			})
+			}}, false)
 		}
 	}
-	return res
 }
 
 // reapExpired loses every leased unit whose worker has been silent past
@@ -442,6 +620,7 @@ func (c *Coordinator) newRound(n int, payload func(Span) []explore.Schedule) *ro
 	defer c.mu.Unlock()
 	r := &round{
 		id:      c.roundSeq,
+		n:       n,
 		byID:    map[int]int{},
 		state:   make([]int, len(spans)),
 		owner:   make([]string, len(spans)),
@@ -450,6 +629,8 @@ func (c *Coordinator) newRound(n int, payload func(Span) []explore.Schedule) *ro
 		results: make([]*Result, len(spans)),
 		left:    len(spans),
 		done:    make(chan struct{}),
+		cellV:   make([]*WireVerdict, n),
+		cellO:   make([]*WireOutcome, n),
 	}
 	c.roundSeq++
 	for _, sp := range spans {
@@ -461,11 +642,37 @@ func (c *Coordinator) newRound(n int, payload func(Span) []explore.Schedule) *ro
 		r.byID[u.ID] = len(r.units)
 		r.units = append(r.units, u)
 	}
-	if r.left == 0 {
+	if len(spans) == 0 {
 		close(r.done) // empty matrix: the round is born complete
 	}
 	c.stats.Rounds++
 	c.stats.Units += len(r.units)
+
+	// Resume: pre-fill journaled cells, and complete (without leasing)
+	// every unit whose whole span the journal already holds. Partially
+	// journaled units still dispatch — the worker re-earns the gap and
+	// first-write-wins keeps the restored cells.
+	if len(c.restored) > 0 {
+		for i, wv := range c.restored {
+			if i < n && r.cellV[i] == nil {
+				v := wv
+				r.cellV[i] = &v
+			}
+		}
+		for pos, u := range r.units {
+			full := true
+			for i := u.Lo; i < u.Hi; i++ {
+				if r.cellV[i] == nil {
+					full = false
+					break
+				}
+			}
+			if full {
+				c.cfg.Log("fleet: unit %d restored from journal", u.ID)
+				c.completeLocked(r, pos, c.assembleLocked(r, u))
+			}
+		}
+	}
 	return r
 }
 
@@ -488,6 +695,9 @@ func (c *Coordinator) RunRound(ctx context.Context, r *round) ([]*Result, error)
 
 	tick := time.NewTicker(c.tickInterval())
 	defer tick.Stop()
+	c.mu.Lock()
+	jfail := c.jfail
+	c.mu.Unlock()
 	var err error
 loop:
 	for {
@@ -497,6 +707,8 @@ loop:
 		case <-ctx.Done():
 			err = ctx.Err()
 			break loop
+		case <-jfail: // nil when no journal; never fires then
+			break loop
 		case <-tick.C:
 			c.reapExpired()
 		}
@@ -504,9 +716,84 @@ loop:
 	c.mu.Lock()
 	c.round = nil
 	c.cond.Broadcast()
+	if c.jerr != nil {
+		err = c.jerr // losing the crash-safety log outranks a cancel
+	}
 	results := append([]*Result(nil), r.results...)
 	c.mu.Unlock()
 	return results, err
+}
+
+// epochRecord is the payload of a RecEpoch journal record: one per
+// coordinator attachment, so epoch = how many coordinators have owned
+// this journal.
+type epochRecord struct {
+	Epoch int `json:"epoch"`
+}
+
+// Epoch reports the coordinator's journal epoch: how many coordinators
+// (this one included) have attached to its journal. 0 when no journal
+// is attached.
+func (c *Coordinator) Epoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// adoptJournal counts prior epochs in the log, appends this
+// coordinator's own epoch record, and arms the journal-failure abort.
+// Epoch records ride in the same log as the work records; both the
+// campaign and explore replay paths skip record types they do not own.
+func (c *Coordinator) adoptJournal(l *journal.Log) error {
+	epoch := 1
+	for _, rec := range l.Records() {
+		if rec.Type == campaign.RecEpoch {
+			epoch++
+		}
+	}
+	if err := l.Append(campaign.RecEpoch, epochRecord{Epoch: epoch}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.epoch = epoch
+	if c.jfail == nil {
+		c.jfail = make(chan struct{})
+	}
+	c.mu.Unlock()
+	c.cfg.Log("fleet: journal %s adopted (epoch %d)", l.Path(), epoch)
+	return nil
+}
+
+// attachCampaignJournal readies Config.Journal for a campaign run:
+// validate-or-stamp the sweep metadata, load the journaled cells for
+// round pre-fill, and bump the epoch. Returns how many cells resume
+// from the journal.
+func (c *Coordinator) attachCampaignJournal(cases []campaign.Case) (int, error) {
+	l := c.cfg.Journal
+	if l == nil {
+		return 0, nil
+	}
+	restored, err := campaign.PrepareJournal(l, cases)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.adoptJournal(l); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.restored = make(map[int]WireVerdict, len(restored))
+	for i, jv := range restored {
+		c.restored[i] = WireVerdict{
+			Index: jv.Index, OK: jv.OK, Note: jv.Note, Err: jv.Err,
+			Outcome: jv.Outcome, Retries: jv.Retries, ElapsedUS: jv.ElapsedUS,
+		}
+	}
+	c.cellNames = make([]string, len(cases))
+	for i, cs := range cases {
+		c.cellNames[i] = cs.Name
+	}
+	c.mu.Unlock()
+	return len(restored), nil
 }
 
 // tickInterval paces the reaper well inside the unit timeout.

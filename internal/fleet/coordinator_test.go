@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -260,9 +261,9 @@ func TestGarbageFrames(t *testing.T) {
 	c := NewCampaign(sweepSpec, "sweep", WireHarden{}, fastCfg(2))
 	for _, garbage := range [][]byte{
 		[]byte("}{ total garbage"),
-		[]byte(`{"v":1}`),
-		[]byte(`{"v":1,"type":"result","session":"w1"}`),          // result frame without a result
-		[]byte(`{"v":1,"type":"warp-core-breach","session":"w1"}`), // unknown type
+		[]byte(fmt.Sprintf(`{"v":%d}`, ProtocolVersion)),
+		[]byte(fmt.Sprintf(`{"v":%d,"type":"result","session":"w1"}`, ProtocolVersion)),           // result frame without a result
+		[]byte(fmt.Sprintf(`{"v":%d,"type":"warp-core-breach","session":"w1"}`, ProtocolVersion)), // unknown type
 	} {
 		resp, err := Decode(c.Handle(garbage))
 		if err != nil {

@@ -61,6 +61,14 @@ func (c *Coordinator) EvalBatch(ctx context.Context, batch []explore.Schedule) (
 // seed. opts.Profile is overridden from the job so coordinator-side
 // shrink evaluations and worker-side batch evaluations resolve the same
 // vendor profile.
+//
+// Crash safety rides on opts.Journal: because derivation, corpus
+// evolution, and generation boundaries all live here on the
+// coordinator, explore's own generation-boundary journaling makes the
+// fleet run resumable with no extra wire traffic — a restarted
+// coordinator skips the journaled generations and re-dispatches only
+// the interrupted one. The coordinator additionally stamps its epoch
+// into the journal so re-adopted workers can be told apart.
 func (c *Coordinator) RunFuzz(opts explore.Options) (*explore.Report, error) {
 	if c.job.Kind != JobFuzz {
 		return nil, fmt.Errorf("fleet: RunFuzz on a %s coordinator", c.job.Kind)
@@ -68,6 +76,11 @@ func (c *Coordinator) RunFuzz(opts explore.Options) (*explore.Report, error) {
 	prof, err := tcp.ProfileByName(c.job.Profile)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Journal != nil {
+		if err := c.adoptJournal(opts.Journal); err != nil {
+			return nil, err
+		}
 	}
 	opts.Profile = prof
 	opts.Harden = c.job.Harden.Config()

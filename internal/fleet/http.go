@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"pfi/internal/journal"
 	"pfi/internal/script"
 )
 
@@ -73,10 +74,18 @@ func (c *Coordinator) Handler() http.Handler {
 			"fleet_reassigned":   s.Reassigned,
 			"fleet_contained":    s.Contained,
 			"fleet_stale":        s.Stale,
+			"fleet_cells":        s.Cells,
 			"fleet_bad_frames":   s.BadFrames,
 			"fleet_workers_seen": s.WorkersSeen,
 			"fleet_workers_lost": s.WorkersLost,
 		}
+		// Crash-safety telemetry: write-ahead-log volume, resumed work,
+		// and worker reconnect churn (process-local, like script stats).
+		js := journal.GetStats()
+		m["journal_records_written"] = int(js.RecordsWritten)
+		m["journal_bytes"] = int(js.BytesWritten)
+		m["resume_cells_skipped"] = int(js.ResumedSkipped)
+		m["worker_reconnect_backoffs"] = int(ReconnectBackoffs())
 		// Script-engine telemetry: coordinator-local counters from the AOT
 		// optimizer and program caches (spawned/remote workers keep their
 		// own; these cover in-process scenario work).

@@ -22,6 +22,16 @@
 // can neither duplicate nor starve a cell. Results arriving for a unit
 // that was already completed or reassigned elsewhere are counted stale
 // and dropped — exactly-once merge regardless of how workers misbehave.
+//
+// Crash safety (v2): workers stream each completed cell (MsgCell) before
+// the unit-completion marker (MsgResult), so a lost unit only forfeits
+// the cells not yet reported. A coordinator given Config.Journal streams
+// every merged campaign cell into the write-ahead log and pre-fills the
+// journaled cells on the next run — a kill -9'd coordinator restarted
+// against the same journal re-runs only the gap, and each restart bumps
+// an epoch (RecEpoch) that reconnecting workers observe when they are
+// re-adopted. Fuzz runs journal on the explore side instead (the
+// coordinator owns derivation there; see Coordinator.RunFuzz).
 package fleet
 
 import (
@@ -35,11 +45,12 @@ import (
 
 // ProtocolVersion stamps every frame. A coordinator rejects frames from
 // any other version with an explicit error rather than risking a silent
-// mis-merge between drifted binaries.
-const ProtocolVersion = 1
+// mis-merge between drifted binaries. v2 added per-cell result streaming
+// (MsgCell) and coordinator epochs.
+const ProtocolVersion = 2
 
-// Message types carried in Envelope.Type. hello/lease/result flow worker
-// -> coordinator; job/unit/wait/drain/ack/error are the responses.
+// Message types carried in Envelope.Type. hello/lease/cell/result flow
+// worker -> coordinator; job/unit/wait/drain/ack/error are the responses.
 const (
 	MsgHello  = "hello"  // worker announces itself, expects MsgJob
 	MsgJob    = "job"    // coordinator assigns a session + the job
@@ -47,7 +58,8 @@ const (
 	MsgUnit   = "unit"   // coordinator leases one work unit
 	MsgWait   = "wait"   // no unit available yet; poll again
 	MsgDrain  = "drain"  // no more work ever; worker exits
-	MsgResult = "result" // worker returns a completed unit
+	MsgCell   = "cell"   // worker streams one completed cell of a leased unit
+	MsgResult = "result" // worker marks a unit complete (cells already streamed)
 	MsgAck    = "ack"    // coordinator accepted (or staled) the result
 	MsgError  = "error"  // protocol-level rejection; body in Error
 )
@@ -71,11 +83,21 @@ type Envelope struct {
 	Session string `json:"session,omitempty"`
 	// Worker is the peer's self-description on hello (diagnostics only).
 	Worker string `json:"worker,omitempty"`
+	// Epoch stamps MsgJob replies with the coordinator's journal epoch
+	// (restart count). A reconnecting worker that sees the epoch change
+	// knows it was re-adopted by a restarted coordinator, not merely
+	// re-admitted by the same one. 0 means no journal is attached.
+	Epoch int `json:"epoch,omitempty"`
 	// Job is the assignment payload of MsgJob.
 	Job *Job `json:"job,omitempty"`
 	// Unit is the leased work of MsgUnit.
 	Unit *Unit `json:"unit,omitempty"`
-	// Result is the completed work of MsgResult.
+	// Cell is one streamed cell of MsgCell.
+	Cell *WireCell `json:"cell,omitempty"`
+	// Result is the completion marker of MsgResult. Its payload entries
+	// fill any cells not already streamed (a v1-style full-unit result is
+	// therefore still merged correctly); cells already held first-write-
+	// win.
 	Result *Result `json:"result,omitempty"`
 	// Error is the rejection text of MsgError.
 	Error string `json:"error,omitempty"`
@@ -159,7 +181,24 @@ type Unit struct {
 	Schedules []explore.Schedule `json:"schedules,omitempty"`
 }
 
-// Result is a completed unit: exactly one entry per cell, in cell order.
+// WireCell is one streamed cell of a leased unit: exactly one of Verdict
+// (JobCampaign) or Outcome (JobFuzz) is set. Streaming cells as they
+// complete bounds the blast radius of a lost worker to the cells it had
+// not yet reported — the coordinator keeps everything already streamed
+// and a reassigned unit only has to re-earn the gap.
+type WireCell struct {
+	// Unit is the leased unit this cell belongs to.
+	Unit int `json:"unit"`
+	// Verdict is the campaign cell payload (JobCampaign).
+	Verdict *WireVerdict `json:"verdict,omitempty"`
+	// Outcome is the fuzz cell payload (JobFuzz).
+	Outcome *WireOutcome `json:"outcome,omitempty"`
+}
+
+// Result marks a unit complete. A v2 worker streams its cells via
+// MsgCell and sends an empty payload here; a payload, when present,
+// fills any cells the coordinator is still missing (first-write-wins),
+// which keeps full-unit results mergeable.
 type Result struct {
 	// Unit echoes the unit ID.
 	Unit int `json:"unit"`

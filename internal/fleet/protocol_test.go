@@ -52,7 +52,7 @@ func goldenFrames() []struct {
 		env  Envelope
 	}{
 		{"hello", Envelope{V: ProtocolVersion, Type: MsgHello, Worker: "pficampaign@host"}},
-		{"job_campaign", Envelope{V: ProtocolVersion, Type: MsgJob, Session: "w1",
+		{"job_campaign", Envelope{V: ProtocolVersion, Type: MsgJob, Session: "w1", Epoch: 3,
 			Job: &Job{Kind: JobCampaign, Spec: &spec, Scenario: "gmp", Harden: hw}}},
 		{"job_fuzz", Envelope{V: ProtocolVersion, Type: MsgJob, Session: "w1",
 			Job: &Job{Kind: JobFuzz, Profile: "solaris", Harden: hw}}},
@@ -63,6 +63,18 @@ func goldenFrames() []struct {
 			Unit: &Unit{ID: 7, Round: 2, Lo: 4, Hi: 5, Schedules: []explore.Schedule{sched}}}},
 		{"wait", Envelope{V: ProtocolVersion, Type: MsgWait}},
 		{"drain", Envelope{V: ProtocolVersion, Type: MsgDrain}},
+		{"cell_campaign", Envelope{V: ProtocolVersion, Type: MsgCell, Session: "w1",
+			Cell: &WireCell{Unit: 3, Verdict: &WireVerdict{
+				Index: 8, OK: true, Note: "sent=40 delivered=40", Outcome: int(harden.Pass), ElapsedUS: 1200,
+			}}}},
+		{"cell_fuzz", Envelope{V: ProtocolVersion, Type: MsgCell, Session: "w2",
+			Cell: &WireCell{Unit: 7, Outcome: &WireOutcome{
+				Index:    4,
+				Schedule: sched,
+				Cov:      []CovWord{{I: 0, W: 0x8000000000000001}, {I: 1023, W: 42}},
+			}}}},
+		{"result_empty", Envelope{V: ProtocolVersion, Type: MsgResult, Session: "w1",
+			Result: &Result{Unit: 3}}},
 		{"result_campaign", Envelope{V: ProtocolVersion, Type: MsgResult, Session: "w1",
 			Result: &Result{Unit: 3, Verdicts: []WireVerdict{
 				{Index: 8, OK: true, Note: "sent=40 delivered=40", Outcome: int(harden.Pass), ElapsedUS: 1200},
@@ -72,9 +84,9 @@ func goldenFrames() []struct {
 			}}}},
 		{"result_fuzz", Envelope{V: ProtocolVersion, Type: MsgResult, Session: "w2",
 			Result: &Result{Unit: 7, Outcomes: []WireOutcome{{
-				Index: 4,
-				Schedule: sched,
-				Cov:      []CovWord{{I: 0, W: 0x8000000000000001}, {I: 1023, W: 42}},
+				Index:      4,
+				Schedule:   sched,
+				Cov:        []CovWord{{I: 0, W: 0x8000000000000001}, {I: 1023, W: 42}},
 				Violations: []explore.Violation{{Kind: explore.ViolExecError, Detail: "tool fault: boom"}},
 			}}}}},
 		{"ack", Envelope{V: ProtocolVersion, Type: MsgAck}},
@@ -155,7 +167,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 // merging them), and the worker rejects a skewed coordinator reply.
 func TestVersionSkewRejected(t *testing.T) {
 	c := NewCampaign(campaign.Spec{Protocol: "typed", Types: []string{"DATA"}}, "sweep", WireHarden{}, Config{})
-	for _, v := range []int{0, 2, -1, ProtocolVersion + 10} {
+	for _, v := range []int{0, 1, -1, ProtocolVersion + 10} {
 		resp := c.HandleEnvelope(Envelope{V: v, Type: MsgHello, Worker: "skewed"})
 		if resp.Type != MsgError {
 			t.Fatalf("v=%d: got %q reply, want error", v, resp.Type)

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"pfi/internal/journal"
+)
+
+// Queue record types. The queue keeps its own journal — one log per
+// queue, separate from the per-campaign cell journals its entries point
+// at — so a restarted coordinator process recovers the whole backlog:
+// which campaigns were queued, which were leased in flight, and which
+// finished.
+const (
+	// RecQueueJob is one enqueued campaign: the full job payload plus
+	// the path of its cell journal.
+	RecQueueJob = "queue-job"
+	// RecQueueLease marks a job dispatched (in flight). A job leased but
+	// never completed is still pending after a restart — Pending surfaces
+	// it first, and its cell journal carries whatever cells the crashed
+	// run already banked.
+	RecQueueLease = "queue-lease"
+	// RecQueueDone marks a job completed.
+	RecQueueDone = "queue-done"
+)
+
+// QueuedJob is one durable queue entry.
+type QueuedJob struct {
+	// ID is unique within the queue's lifetime (monotonic).
+	ID int `json:"id"`
+	// Job is the full fleet job: spec, scenario, harden policy.
+	Job Job `json:"job"`
+	// JournalPath is the job's own cell journal, handed to the
+	// coordinator (Config.Journal) that runs it, so each campaign's
+	// resume state is isolated from the queue's.
+	JournalPath string `json:"journal_path,omitempty"`
+	// Leased reports the job was dispatched at least once (an in-flight
+	// lease recovered after a restart resumes, not restarts).
+	Leased bool `json:"-"`
+}
+
+// queueRef is the payload of lease/done records.
+type queueRef struct {
+	ID int `json:"id"`
+}
+
+// Queue is a durable multi-campaign work queue: jobs enqueue as journal
+// records, leases and completions append markers, and OpenQueue replays
+// the log so a killed coordinator process picks up exactly where it
+// died. All methods are safe for concurrent use.
+type Queue struct {
+	mu   sync.Mutex
+	log  *journal.Log
+	jobs []QueuedJob // pending, in enqueue order (leased-but-unfinished included)
+	done int         // completed jobs replayed or marked
+	seq  int
+}
+
+// OpenQueue replays a queue journal. Unknown record types are skipped,
+// so a queue log tolerates future markers.
+func OpenQueue(l *journal.Log) (*Queue, error) {
+	q := &Queue{log: l}
+	byID := map[int]int{} // job ID -> index in q.jobs
+	for _, rec := range l.Records() {
+		switch rec.Type {
+		case RecQueueJob:
+			var qj QueuedJob
+			if err := journal.Decode(rec, RecQueueJob, &qj); err != nil {
+				return nil, err
+			}
+			if _, dup := byID[qj.ID]; dup {
+				return nil, fmt.Errorf("fleet: queue %s enqueues job %d twice", l.Path(), qj.ID)
+			}
+			byID[qj.ID] = len(q.jobs)
+			q.jobs = append(q.jobs, qj)
+			if qj.ID >= q.seq {
+				q.seq = qj.ID + 1
+			}
+		case RecQueueLease:
+			var ref queueRef
+			if err := journal.Decode(rec, RecQueueLease, &ref); err != nil {
+				return nil, err
+			}
+			if i, ok := byID[ref.ID]; ok {
+				q.jobs[i].Leased = true
+			}
+		case RecQueueDone:
+			var ref queueRef
+			if err := journal.Decode(rec, RecQueueDone, &ref); err != nil {
+				return nil, err
+			}
+			if i, ok := byID[ref.ID]; ok {
+				q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+				delete(byID, ref.ID)
+				for id, j := range byID {
+					if j > i {
+						byID[id] = j - 1
+					}
+				}
+				q.done++
+			}
+		}
+	}
+	return q, nil
+}
+
+// Add durably enqueues a job and returns its queue entry.
+func (q *Queue) Add(job Job, journalPath string) (QueuedJob, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	qj := QueuedJob{ID: q.seq, Job: job, JournalPath: journalPath}
+	if err := q.log.Append(RecQueueJob, qj); err != nil {
+		return QueuedJob{}, err
+	}
+	q.seq++
+	q.jobs = append(q.jobs, qj)
+	return qj, nil
+}
+
+// Lease durably marks a job dispatched and returns it. In-flight jobs
+// (leased before a crash, never completed) are preferred over fresh
+// ones so interrupted campaigns finish first; among each class, enqueue
+// order wins. ok is false when the queue is empty.
+func (q *Queue) Lease() (QueuedJob, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pick := -1
+	for i := range q.jobs {
+		if q.jobs[i].Leased {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 && len(q.jobs) > 0 {
+		pick = 0
+	}
+	if pick < 0 {
+		return QueuedJob{}, false, nil
+	}
+	if !q.jobs[pick].Leased {
+		if err := q.log.Append(RecQueueLease, queueRef{ID: q.jobs[pick].ID}); err != nil {
+			return QueuedJob{}, false, err
+		}
+		q.jobs[pick].Leased = true
+	}
+	return q.jobs[pick], true, nil
+}
+
+// Complete durably marks a job finished and drops it from the queue.
+func (q *Queue) Complete(id int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.jobs {
+		if q.jobs[i].ID == id {
+			if err := q.log.Append(RecQueueDone, queueRef{ID: id}); err != nil {
+				return err
+			}
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			q.done++
+			return q.log.Sync()
+		}
+	}
+	return fmt.Errorf("fleet: queue has no pending job %d", id)
+}
+
+// Pending snapshots the outstanding jobs: in-flight ones first, then
+// queued ones, each in enqueue order.
+func (q *Queue) Pending() []QueuedJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QueuedJob, 0, len(q.jobs))
+	for _, qj := range q.jobs {
+		if qj.Leased {
+			out = append(out, qj)
+		}
+	}
+	for _, qj := range q.jobs {
+		if !qj.Leased {
+			out = append(out, qj)
+		}
+	}
+	return out
+}
+
+// Done reports how many jobs have completed over the queue's lifetime
+// (including completions replayed from the journal).
+func (q *Queue) Done() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.done
+}

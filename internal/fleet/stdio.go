@@ -36,7 +36,7 @@ func (c *Coordinator) ServeConn(r io.Reader, w io.Writer) error {
 		// Sniff the session so an abrupt EOF can be pinned on it. The
 		// handler core owns all protocol semantics; this is bookkeeping.
 		if e, derr := Decode(line); derr == nil {
-			if e.Type == MsgResult || e.Type == MsgLease {
+			if e.Type == MsgResult || e.Type == MsgLease || e.Type == MsgCell {
 				session = e.Session
 			}
 		}

@@ -1,9 +1,12 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -59,13 +62,30 @@ type Conn interface {
 	Close() error
 }
 
+// workerHooks observe a worker session's lifecycle; RunWorkerReconnect
+// uses them to reset its backoff on progress and to detect re-adoption
+// by a restarted coordinator.
+type workerHooks struct {
+	// onJob fires once per admission with the assigned job and the
+	// coordinator's journal epoch (0: no journal).
+	onJob func(job Job, epoch int)
+	// onProgress fires after each completed unit.
+	onProgress func()
+}
+
 // RunWorker drives the worker side of the protocol over an established
-// connection: hello, then lease -> execute -> result until drained. name
-// is the worker's self-description (diagnostics only). It returns nil on
-// a clean drain and the first transport or protocol error otherwise — a
-// worker that cannot make progress exits and lets the coordinator's loss
-// recovery own its units.
+// connection: hello, then lease -> execute (streaming each finished
+// cell) -> result until drained. name is the worker's self-description
+// (diagnostics only). It returns nil on a clean drain and the first
+// transport or protocol error otherwise — a worker that cannot make
+// progress exits and lets the coordinator's loss recovery own its
+// units. Use RunWorkerReconnect for workers that should outlive a
+// coordinator restart.
 func RunWorker(conn Conn, name string) error {
+	return runWorker(conn, name, workerHooks{})
+}
+
+func runWorker(conn Conn, name string, hooks workerHooks) error {
 	defer conn.Close()
 	resp, err := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgHello, Worker: name})
 	if err != nil {
@@ -78,6 +98,9 @@ func RunWorker(conn Conn, name string) error {
 		return fmt.Errorf("fleet: job reply missing job or session")
 	}
 	job, session := *resp.Job, resp.Session
+	if hooks.onJob != nil {
+		hooks.onJob(job, resp.Epoch)
+	}
 	leased := 0
 	for {
 		resp, err := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgLease, Session: session})
@@ -97,21 +120,142 @@ func RunWorker(conn Conn, name string) error {
 				applyFaultHooks()
 			}
 			leased++
-			res, err := executeUnit(job, *resp.Unit)
+			// Stream each cell as it completes, then mark the unit done
+			// with an empty result — the coordinator already holds every
+			// cell, and anything streamed survives even if this process
+			// dies before the marker.
+			err := executeUnitStream(job, *resp.Unit, func(cell WireCell) error {
+				ack, cerr := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgCell, Session: session, Cell: &cell})
+				if cerr != nil {
+					return cerr
+				}
+				return checkReply(ack, MsgAck)
+			})
 			if err != nil {
 				return fmt.Errorf("fleet: unit %d: %w", resp.Unit.ID, err)
 			}
-			ack, err := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgResult, Session: session, Result: res})
+			ack, err := conn.RoundTrip(Envelope{V: ProtocolVersion, Type: MsgResult, Session: session, Result: &Result{Unit: resp.Unit.ID}})
 			if err != nil {
 				return fmt.Errorf("fleet: result: %w", err)
 			}
 			if err := checkReply(ack, MsgAck); err != nil {
 				return err
 			}
+			if hooks.onProgress != nil {
+				hooks.onProgress()
+			}
 		default:
 			return replyError(resp)
 		}
 	}
+}
+
+// Reconnect tunes RunWorkerReconnect's retry loop.
+type Reconnect struct {
+	// MaxAttempts bounds consecutive failed attempts before giving up
+	// (default 8). Completing a unit resets the count — a worker that is
+	// making progress retries indefinitely.
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 100ms); each consecutive
+	// failure doubles it up to MaxDelay (default 5s). The actual sleep
+	// is jittered into [d/2, d] so a restarted coordinator is not hit by
+	// every worker at once.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Log receives reconnect diagnostics (nil: silent).
+	Log func(format string, args ...any)
+}
+
+func (rc Reconnect) withDefaults() Reconnect {
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 8
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 100 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 5 * time.Second
+	}
+	if rc.Log == nil {
+		rc.Log = func(string, ...any) {}
+	}
+	return rc
+}
+
+// reconnectBackoffs counts backoff sleeps taken by RunWorkerReconnect
+// process-wide, exported on /metrics (meaningful for in-process HTTP
+// workers; spawned workers keep their own).
+var reconnectBackoffs atomic.Uint64
+
+// ReconnectBackoffs reports how many reconnect backoffs workers in this
+// process have taken.
+func ReconnectBackoffs() uint64 { return reconnectBackoffs.Load() }
+
+// RunWorkerReconnect runs a worker session and, instead of exiting on a
+// lost coordinator, redials with exponential backoff plus jitter. A
+// coordinator restart therefore does not shrink the fleet: the worker
+// rejoins the new coordinator (observing its bumped epoch) and keeps
+// leasing. Returns nil on a clean drain, the context error on cancel,
+// and the last session error once MaxAttempts consecutive attempts fail
+// without completing a unit.
+func RunWorkerReconnect(ctx context.Context, dial func() (Conn, error), name string, rc Reconnect) error {
+	rc = rc.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := 0
+	lastEpoch := -1
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		progressed := false
+		conn, err := dial()
+		if err == nil {
+			err = runWorker(conn, name, workerHooks{
+				onJob: func(_ Job, epoch int) {
+					if lastEpoch >= 0 && epoch != lastEpoch {
+						rc.Log("fleet: worker %s re-adopted by restarted coordinator (epoch %d -> %d)", name, lastEpoch, epoch)
+					}
+					lastEpoch = epoch
+				},
+				onProgress: func() { progressed = true; attempts = 0 },
+			})
+			if err == nil {
+				return nil // clean drain
+			}
+		}
+		attempts++
+		if attempts > rc.MaxAttempts {
+			return fmt.Errorf("fleet: worker %s giving up after %d attempts: %w", name, attempts-1, err)
+		}
+		reconnectBackoffs.Add(1)
+		delay := backoffDelay(rc.BaseDelay, rc.MaxDelay, attempts)
+		rc.Log("fleet: worker %s lost coordinator (%v); reconnecting in %s (attempt %d, progressed=%t)",
+			name, err, delay.Round(time.Millisecond), attempts, progressed)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// backoffDelay computes the attempt'th exponential backoff, jittered
+// into [d/2, d].
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
 }
 
 // checkReply validates a coordinator reply's version and type.
@@ -149,45 +293,72 @@ func applyFaultHooks() {
 	}
 }
 
-// executeUnit runs one leased unit to completion: every cell, in order,
-// through the isolation layer, exactly as the in-process paths would.
-func executeUnit(job Job, u Unit) (*Result, error) {
-	res := &Result{Unit: u.ID}
+// executeUnitStream runs one leased unit cell by cell, in order, through
+// the isolation layer, handing each finished cell to emit — the worker's
+// streaming hook. An emit error aborts the unit (the transport is gone;
+// the coordinator's loss recovery owns the rest).
+func executeUnitStream(job Job, u Unit, emit func(WireCell) error) error {
 	cfg := job.Harden.Config()
 	switch job.Kind {
 	case JobCampaign:
 		if job.Spec == nil {
-			return nil, fmt.Errorf("fleet: campaign job carries no spec")
+			return fmt.Errorf("fleet: campaign job carries no spec")
 		}
 		scenario, ok := scenarioByName(job.Scenario)
 		if !ok {
-			return nil, fmt.Errorf("fleet: scenario %q not registered in this worker", job.Scenario)
+			return fmt.Errorf("fleet: scenario %q not registered in this worker", job.Scenario)
 		}
 		cases, err := campaign.Generate(*job.Spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if u.Lo < 0 || u.Hi > len(cases) || u.Lo > u.Hi {
-			return nil, fmt.Errorf("fleet: unit [%d,%d) outside matrix of %d cases", u.Lo, u.Hi, len(cases))
+			return fmt.Errorf("fleet: unit [%d,%d) outside matrix of %d cases", u.Lo, u.Hi, len(cases))
 		}
 		for i := u.Lo; i < u.Hi; i++ {
 			v := campaign.RunCase(cases[i], scenario, cfg, nil)
-			res.Verdicts = append(res.Verdicts, verdictToWire(i, v))
+			wv := verdictToWire(i, v)
+			if err := emit(WireCell{Unit: u.ID, Verdict: &wv}); err != nil {
+				return err
+			}
 		}
 	case JobFuzz:
 		prof, err := tcp.ProfileByName(job.Profile)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(u.Schedules) != u.Hi-u.Lo {
-			return nil, fmt.Errorf("fleet: unit [%d,%d) carries %d schedules", u.Lo, u.Hi, len(u.Schedules))
+			return fmt.Errorf("fleet: unit [%d,%d) carries %d schedules", u.Lo, u.Hi, len(u.Schedules))
 		}
 		for i, s := range u.Schedules {
 			o := explore.EvaluateWith(s, prof, cfg)
-			res.Outcomes = append(res.Outcomes, outcomeToWire(u.Lo+i, o))
+			wo := outcomeToWire(u.Lo+i, o)
+			if err := emit(WireCell{Unit: u.ID, Outcome: &wo}); err != nil {
+				return err
+			}
 		}
 	default:
-		return nil, fmt.Errorf("fleet: unknown job kind %q", job.Kind)
+		return fmt.Errorf("fleet: unknown job kind %q", job.Kind)
+	}
+	return nil
+}
+
+// executeUnit runs one leased unit to completion and collects its cells
+// into a full Result — the v1-style payload, still used by handler-core
+// tests and accepted by the coordinator's fold path.
+func executeUnit(job Job, u Unit) (*Result, error) {
+	res := &Result{Unit: u.ID}
+	err := executeUnitStream(job, u, func(cell WireCell) error {
+		switch {
+		case cell.Verdict != nil:
+			res.Verdicts = append(res.Verdicts, *cell.Verdict)
+		case cell.Outcome != nil:
+			res.Outcomes = append(res.Outcomes, *cell.Outcome)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
